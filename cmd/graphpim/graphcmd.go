@@ -1,0 +1,109 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"graphpim"
+	"graphpim/internal/graph"
+)
+
+// cmdGraph generates synthetic graphs or inspects edge-list files:
+//
+//	graphpim graph gen -kind ldbc -vertices 4096 -o graph.el
+//	graphpim graph info graph.el
+func cmdGraph(args []string) {
+	if len(args) < 1 {
+		fmt.Fprintln(os.Stderr, "graph: need a subcommand: gen | info")
+		os.Exit(2)
+	}
+	switch args[0] {
+	case "gen":
+		cmdGraphGen(args[1:])
+	case "info":
+		cmdGraphInfo(args[1:])
+	default:
+		fmt.Fprintf(os.Stderr, "graph: unknown subcommand %q\n", args[0])
+		os.Exit(2)
+	}
+}
+
+func cmdGraphGen(args []string) {
+	fs := flag.NewFlagSet("graph gen", flag.ExitOnError)
+	kind := fs.String("kind", "ldbc", "ldbc|rmat|er|bitcoin|twitter")
+	vertices := fs.Int("vertices", 4096, "vertex count")
+	seed := fs.Uint64("seed", 7, "generator seed")
+	out := fs.String("o", "", "output edge-list file (default stdout)")
+	_ = fs.Parse(args)
+
+	var g *graphpim.Graph
+	switch *kind {
+	case "ldbc":
+		g = graphpim.GenerateLDBC(*vertices, *seed)
+	case "rmat":
+		g = graphpim.GenerateRMAT(*vertices, 16, 0.57, 0.19, 0.19, *seed)
+	case "er":
+		g = graphpim.GenerateErdosRenyi(*vertices, 8, *seed)
+	case "bitcoin":
+		g = graphpim.GenerateBitcoinLike(*vertices, *seed)
+	case "twitter":
+		g = graphpim.GenerateTwitterLike(*vertices, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown graph kind %q\n", *kind)
+		os.Exit(2)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := graph.WriteEdgeList(w, g); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %s: %d vertices, %d edges\n", *out, g.NumVertices(), g.NumEdges())
+	}
+}
+
+func cmdGraphInfo(args []string) {
+	fs := flag.NewFlagSet("graph info", flag.ExitOnError)
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "graph info: need an edge-list file")
+		os.Exit(2)
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	g, err := graph.ReadEdgeList(f, false)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	degs := make([]int, g.NumVertices())
+	total := 0
+	for v := range degs {
+		degs[v] = g.OutDegree(graphpim.VID(v)) + g.InDegree(graphpim.VID(v))
+		total += g.OutDegree(graphpim.VID(v))
+	}
+	sort.Ints(degs)
+	pick := func(q float64) int { return degs[int(q*float64(len(degs)-1))] }
+	fmt.Printf("vertices:   %d\n", g.NumVertices())
+	fmt.Printf("edges:      %d\n", g.NumEdges())
+	fmt.Printf("avg degree: %.2f (out)\n", float64(total)/float64(g.NumVertices()))
+	fmt.Printf("degree p50: %d   p90: %d   p99: %d   max: %d (in+out)\n",
+		pick(0.50), pick(0.90), pick(0.99), degs[len(degs)-1])
+	fmt.Printf("structure:  %.1f MB CSR footprint\n", float64(g.StructureBytes())/(1<<20))
+}

@@ -1,0 +1,192 @@
+// Command graphpim runs the paper-reproduction experiments and ad hoc
+// workload simulations from the command line.
+//
+// Usage:
+//
+//	graphpim list
+//	    List every experiment (paper table/figure reproductions).
+//
+//	graphpim run [-quick] [-vertices N] [-seed S] all|<id>...
+//	    Run experiments and print their tables. "all" runs the full
+//	    evaluation in paper order.
+//
+//	graphpim workload [-quick] [-vertices N] [-config baseline|upei|graphpim] <name>
+//	    Simulate one GraphBIG workload and print its headline numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"graphpim"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "list":
+		cmdList()
+	case "run":
+		cmdRun(os.Args[2:])
+	case "workload":
+		cmdWorkload(os.Args[2:])
+	case "report":
+		cmdReport(os.Args[2:])
+	case "trace":
+		cmdTrace(os.Args[2:])
+	case "graph":
+		cmdGraph(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown command %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `graphpim — GraphPIM (HPCA 2017) reproduction harness
+
+commands:
+  list                                   list all experiments
+  run [flags] all|<id>...                run experiments, print tables
+  workload [flags] <name>                simulate one workload
+  report [flags] [-o FILE]               run everything, write a Markdown report
+  trace [flags] <name>|-replay FILE      generate/save or replay instruction traces
+  graph gen|info [flags]                 generate synthetic graphs / inspect edge lists
+
+run/workload flags:
+  -quick           small-scale environment (fast)
+  -vertices N      LDBC graph size (default 16384)
+  -seed S          generator seed (default 7)
+  -config C        workload config: baseline|upei|graphpim (workload cmd)`)
+}
+
+func cmdList() {
+	for _, ex := range graphpim.Experiments() {
+		fmt.Printf("%-24s %-12s %s\n", ex.ID, ex.Paper, ex.Title)
+	}
+	for _, ex := range graphpim.ExtraExperiments() {
+		fmt.Printf("%-24s %-12s %s\n", ex.ID, "extra", ex.Title)
+	}
+}
+
+func makeEnv(quick bool, vertices int, seed uint64) *graphpim.Env {
+	var env *graphpim.Env
+	if quick {
+		env = graphpim.QuickEnv()
+	} else {
+		env = graphpim.DefaultEnv()
+	}
+	if vertices > 0 {
+		env.Vertices = vertices
+		env.AppVertices = vertices
+	}
+	if seed != 0 {
+		env.Seed = seed
+	}
+	return env
+}
+
+func cmdRun(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "small-scale environment")
+	vertices := fs.Int("vertices", 0, "LDBC graph size override")
+	seed := fs.Uint64("seed", 0, "generator seed override")
+	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	_ = fs.Parse(args)
+	ids := fs.Args()
+	if len(ids) == 0 {
+		fmt.Fprintln(os.Stderr, "run: need experiment ids or \"all\"")
+		os.Exit(2)
+	}
+	env := makeEnv(*quick, *vertices, *seed)
+
+	var exps []graphpim.Experiment
+	if len(ids) == 1 && ids[0] == "all" {
+		exps = graphpim.Experiments()
+	} else {
+		for _, id := range ids {
+			ex, err := graphpim.ExperimentByID(id)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			exps = append(exps, ex)
+		}
+	}
+	for _, ex := range exps {
+		start := time.Now()
+		tb := ex.Run(env)
+		fmt.Printf("# %s (%s) — %s\n", ex.ID, ex.Paper, ex.Title)
+		if *csv {
+			fmt.Println(tb.CSV())
+		} else {
+			fmt.Println(tb.String())
+			fmt.Printf("(%s)\n\n", time.Since(start).Round(time.Millisecond))
+		}
+	}
+}
+
+func cmdWorkload(args []string) {
+	fs := flag.NewFlagSet("workload", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "small-scale environment")
+	vertices := fs.Int("vertices", 16384, "LDBC graph size")
+	seed := fs.Uint64("seed", 7, "generator seed")
+	config := fs.String("config", "graphpim", "baseline|upei|graphpim")
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "workload: need exactly one workload name")
+		os.Exit(2)
+	}
+	if *quick {
+		*vertices = 2048
+	}
+	w, err := graphpim.WorkloadByName(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	g := graphpim.GenerateLDBC(*vertices, *seed)
+	run := graphpim.NewRun(g, graphpim.DefaultOptions())
+
+	base := run.Execute(w, graphpim.ConfigBaseline)
+	var cfg graphpim.Config
+	switch *config {
+	case "baseline":
+		cfg = graphpim.ConfigBaseline
+	case "upei":
+		cfg = graphpim.ConfigUPEI
+	case "graphpim":
+		cfg = graphpim.ConfigGraphPIM
+	default:
+		fmt.Fprintf(os.Stderr, "unknown config %q\n", *config)
+		os.Exit(2)
+	}
+	res := base
+	if cfg != graphpim.ConfigBaseline {
+		res = run.Execute(w, cfg)
+	}
+
+	info := w.Info()
+	fmt.Printf("workload:   %s (%s, %s)\n", info.Name, info.Full, info.Category)
+	fmt.Printf("graph:      LDBC-like, %d vertices, %d edges, seed %d\n",
+		g.NumVertices(), g.NumEdges(), *seed)
+	fmt.Printf("config:     %s\n", res.Config)
+	fmt.Printf("cycles:     %d\n", res.Cycles)
+	fmt.Printf("instrs:     %d\n", res.Instructions)
+	fmt.Printf("IPC/core:   %.3f\n", res.IPC(16))
+	fmt.Printf("L3 MPKI:    %.1f\n", res.MPKI("cache.l3"))
+	fmt.Printf("link FLITs: %d\n", res.TotalFlits())
+	if cfg != graphpim.ConfigBaseline {
+		fmt.Printf("speedup:    %.2fx over baseline (%d cycles)\n", res.Speedup(base), base.Cycles)
+	}
+	fmt.Printf("offloaded:  %d PIM atomics, %d host atomics\n",
+		res.Stats["mem.pim_atomics"], res.Stats["mem.host_atomics"])
+}

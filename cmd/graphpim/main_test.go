@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestMakeEnv(t *testing.T) {
+	e := makeEnv(true, 0, 0)
+	if e.Vertices != 2048 {
+		t.Fatalf("quick env vertices = %d", e.Vertices)
+	}
+	e = makeEnv(false, 0, 0)
+	if e.Vertices != 16384 {
+		t.Fatalf("default env vertices = %d", e.Vertices)
+	}
+	e = makeEnv(false, 4096, 99)
+	if e.Vertices != 4096 || e.AppVertices != 4096 || e.Seed != 99 {
+		t.Fatalf("overrides ignored: %+v", e)
+	}
+}

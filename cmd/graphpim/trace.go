@@ -1,0 +1,108 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"graphpim"
+	"graphpim/internal/gframe"
+	"graphpim/internal/machine"
+	"graphpim/internal/trace"
+)
+
+// cmdTrace generates a workload's instruction trace, optionally saves it
+// to disk, and prints its composition; with -replay it replays a saved
+// trace under a machine configuration. Traces are expensive to generate
+// (full functional execution), so persisting them lets configuration
+// sweeps replay instead of regenerate.
+func cmdTrace(args []string) {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	vertices := fs.Int("vertices", 4096, "LDBC graph size")
+	seed := fs.Uint64("seed", 7, "generator seed")
+	save := fs.String("save", "", "write the trace to this file")
+	replay := fs.String("replay", "", "replay a saved trace file instead of generating")
+	config := fs.String("config", "graphpim", "replay config: baseline|upei|graphpim")
+	_ = fs.Parse(args)
+
+	if *replay != "" {
+		replayTrace(*replay, *config)
+		return
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "trace: need a workload name (or -replay FILE)")
+		os.Exit(2)
+	}
+	w, err := graphpim.WorkloadByName(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	g := graphpim.GenerateLDBC(*vertices, *seed)
+	fw := gframe.New(g, 16, gframe.DefaultCostModel())
+	w.Run(fw)
+	tr := fw.Trace()
+
+	fmt.Printf("workload:     %s on %d vertices / %d edges\n", w.Info().Name, g.NumVertices(), g.NumEdges())
+	fmt.Printf("instructions: %d\n", tr.TotalInstructions())
+	fmt.Printf("loads:        %d\n", tr.CountKind(trace.KindLoad))
+	fmt.Printf("stores:       %d\n", tr.CountKind(trace.KindStore))
+	fmt.Printf("atomics:      %d\n", tr.CountKind(trace.KindAtomic))
+	fmt.Printf("barriers:     %d\n", tr.CountKind(trace.KindBarrier))
+	for kind, n := range tr.AtomicsByKind() {
+		fmt.Printf("  %-18s %d\n", kind.String(), n)
+	}
+
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := trace.Write(f, tr, fw.Space()); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		info, _ := f.Stat()
+		fmt.Printf("saved:        %s (%d bytes)\n", *save, info.Size())
+	}
+}
+
+func replayTrace(path, config string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	tr, space, err := trace.Read(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var cfg machine.Config
+	switch config {
+	case "baseline":
+		cfg = machine.Baseline()
+	case "upei":
+		cfg = machine.UPEI(true)
+		cfg.POU.PMRActive = true
+	case "graphpim":
+		cfg = machine.GraphPIM(true)
+		cfg.POU.PMRActive = true
+	default:
+		fmt.Fprintf(os.Stderr, "unknown config %q\n", config)
+		os.Exit(2)
+	}
+	cfg.Cache.L2Size = 128 << 10
+	cfg.Cache.L3Size = 512 << 10
+	res := machine.RunTrace(cfg, space, tr)
+	fmt.Printf("replayed %s under %s:\n", path, res.Config)
+	fmt.Printf("cycles:     %d\n", res.Cycles)
+	fmt.Printf("instrs:     %d\n", res.Instructions)
+	fmt.Printf("IPC/core:   %.3f\n", res.IPC(16))
+	fmt.Printf("link FLITs: %d\n", res.TotalFlits())
+	fmt.Printf("offloaded:  %d PIM atomics, %d host atomics\n",
+		res.Stats["mem.pim_atomics"], res.Stats["mem.host_atomics"])
+}

@@ -1,0 +1,46 @@
+// Analytical model: the paper projects GraphPIM's benefit for
+// datacenter-scale applications (Section IV-B5, Eq. 1–2) from baseline
+// performance counters, because 10GB graphs exceed simulation capacity.
+// This example measures a baseline run the same way, evaluates the model,
+// and checks the projection against an actual GraphPIM simulation — the
+// Fig. 16 validation loop — plus the Fig. 15 energy accounting.
+package main
+
+import (
+	"fmt"
+
+	"graphpim"
+)
+
+func main() {
+	g := graphpim.GenerateLDBC(4096, 21)
+	run := graphpim.NewRun(g, graphpim.DefaultOptions())
+	dc := graphpim.NewDC()
+
+	base := run.Execute(dc, graphpim.ConfigBaseline)
+
+	// Measure the counters the paper reads from hardware.
+	in := graphpim.MeasureModel(base)
+	fmt.Println("measured baseline profile (Degree Centrality):")
+	fmt.Printf("  atomic rate:          %.3f atomics/instr\n", in.AtomicRate)
+	fmt.Printf("  host atomic overhead: %.0f cycles each\n", in.HostAIO)
+	fmt.Printf("  cache checking:       %.0f cycles each\n", in.CacheCheck)
+	fmt.Printf("  candidate miss rate:  %.0f%%\n", in.MissRate*100)
+	fmt.Printf("  CPI (other):          %.2f\n\n", in.CPIOther)
+
+	// Project Eq. 1-2, then validate against simulation.
+	predicted := in.PredictedSpeedup()
+	gpim := run.Execute(dc, graphpim.ConfigGraphPIM)
+	simulated := gpim.Speedup(base)
+	errPct := (predicted/simulated - 1) * 100
+	fmt.Printf("modeled speedup:   %.2fx\n", predicted)
+	fmt.Printf("simulated speedup: %.2fx  (model error %+.1f%%)\n\n", simulated, errPct)
+
+	// Uncore energy (Fig. 15 accounting).
+	const cacheMB = 2.6 // scaled hierarchy: 16 x (32+128)KB + 512KB in this example
+	eb := graphpim.ComputeEnergy(base, cacheMB)
+	eg := graphpim.ComputeEnergy(gpim, cacheMB)
+	fmt.Printf("uncore energy baseline: %s\n", eb)
+	fmt.Printf("uncore energy GraphPIM: %s\n", eg)
+	fmt.Printf("energy reduction:       %.0f%%\n", (1-eg.Total()/eb.Total())*100)
+}

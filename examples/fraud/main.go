@@ -1,0 +1,50 @@
+// Fraud detection: the paper's first real-world application (Section
+// IV-B5). A bitcoin-like transaction graph is analyzed in three stages —
+// connected components to group accounts, a bounded traversal from
+// exchange-like hubs, and a scoring pass that flags suspicious accounts —
+// and the whole pipeline is simulated under baseline and GraphPIM.
+package main
+
+import (
+	"fmt"
+
+	"graphpim"
+)
+
+func main() {
+	// Accounts are vertices, transactions are edges; a few exchange
+	// hubs touch a large share of all transactions and short cycles of
+	// high-value transfers (fraud rings) are planted.
+	g := graphpim.GenerateBitcoinLike(8192, 11)
+	fmt.Printf("transaction graph: %d accounts, %d transactions\n\n",
+		g.NumVertices(), g.NumEdges())
+
+	run := graphpim.NewRun(g, graphpim.DefaultOptions())
+	fd := graphpim.NewFraudDetection(3)
+
+	base, out := run.ExecuteFull(fd, graphpim.ConfigBaseline)
+	result := out.(graphpim.FDOutput)
+
+	components := map[uint64]bool{}
+	for _, c := range result.Component {
+		components[c] = true
+	}
+	fmt.Printf("analysis: %d weakly connected components\n", len(components))
+	fmt.Printf("flagged:  %d suspicious accounts within 3 hops of exchanges\n",
+		len(result.Flagged))
+	if len(result.Flagged) > 0 {
+		n := len(result.Flagged)
+		if n > 8 {
+			n = 8
+		}
+		fmt.Printf("          first accounts: %v\n", result.Flagged[:n])
+	}
+
+	gpim := run.Execute(fd, graphpim.ConfigGraphPIM)
+	fmt.Printf("\nbaseline:  %12d cycles\n", base.Cycles)
+	fmt.Printf("GraphPIM:  %12d cycles  (%.2fx speedup)\n",
+		gpim.Cycles, gpim.Speedup(base))
+	fmt.Printf("offloaded: %d CAS operations to the HMC\n", gpim.Stats["mem.pim_atomics"])
+	fmt.Println("\nThe paper reports 1.5x for FD — lower than pure kernels because")
+	fmt.Println("the scoring stage is conventional compute that PIM cannot help.")
+}

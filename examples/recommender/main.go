@@ -1,0 +1,41 @@
+// Recommender system: the paper's second real-world application (Section
+// IV-B5) — item-to-item collaborative filtering in the style the paper
+// cites from Amazon, over a twitter-like follower graph. Co-occurrence
+// similarity accumulates through atomic adds on the item-similarity
+// property, which GraphPIM offloads to the memory cube.
+package main
+
+import (
+	"fmt"
+
+	"graphpim"
+)
+
+func main() {
+	g := graphpim.GenerateTwitterLike(8192, 13)
+	fmt.Printf("follower graph: %d users/items, %d follow edges\n\n",
+		g.NumVertices(), g.NumEdges())
+
+	run := graphpim.NewRun(g, graphpim.DefaultOptions())
+	rs := graphpim.NewRecommender(24)
+
+	base, out := run.ExecuteFull(rs, graphpim.ConfigBaseline)
+	result := out.(graphpim.RSOutput)
+
+	fmt.Println("top co-occurrence items (item: similarity mass):")
+	for i, item := range result.TopItems {
+		fmt.Printf("  %2d. item %-6d %d\n", i+1, item, result.Similarity[item])
+	}
+
+	upei := run.Execute(rs, graphpim.ConfigUPEI)
+	gpim := run.Execute(rs, graphpim.ConfigGraphPIM)
+	fmt.Printf("\n%-10s %14s %9s\n", "config", "cycles", "speedup")
+	fmt.Printf("%-10s %14d %9s\n", "baseline", base.Cycles, "1.00x")
+	fmt.Printf("%-10s %14d %8.2fx\n", "U-PEI", upei.Cycles, upei.Speedup(base))
+	fmt.Printf("%-10s %14d %8.2fx\n", "GraphPIM", gpim.Cycles, gpim.Speedup(base))
+	fmt.Printf("\nlink traffic: %d FLITs baseline, %d GraphPIM\n",
+		base.TotalFlits(), gpim.TotalFlits())
+	fmt.Println("(popular items are cache-friendly, so at this small scale the")
+	fmt.Println(" bypass trades extra link traffic for the atomic-overhead win)")
+	fmt.Println("\nThe paper reports 1.9x speedup and 48% energy reduction for RS.")
+}

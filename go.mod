@@ -1,0 +1,3 @@
+module graphpim
+
+go 1.24

@@ -1,0 +1,260 @@
+// Package graphpim is a full-stack reproduction of "GraphPIM: Enabling
+// Instruction-Level PIM Offloading in Graph Computing Frameworks"
+// (HPCA 2017): a cycle-level simulation of a 16-core host with a Hybrid
+// Memory Cube, a GraphBIG-style graph computing framework whose workloads
+// run functionally while driving the timing model, and the GraphPIM
+// mechanism itself — atomic instructions to the PIM memory region bypass
+// the cache hierarchy and execute as HMC 2.0 atomic commands in the
+// memory cube's logic layer.
+//
+// The package is a facade over the internal implementation. A minimal
+// session:
+//
+//	g := graphpim.GenerateLDBC(16384, 7)
+//	run := graphpim.NewRun(g, graphpim.DefaultOptions())
+//	res := run.Execute(graphpim.NewBFS(0), graphpim.ConfigGraphPIM)
+//	fmt.Println(res.Speedup(run.Execute(graphpim.NewBFS(0), graphpim.ConfigBaseline)))
+//
+// The harness sub-API reproduces every table and figure of the paper's
+// evaluation; see Experiments and RunExperiment.
+package graphpim
+
+import (
+	"fmt"
+
+	"graphpim/internal/analytic"
+	"graphpim/internal/energy"
+	"graphpim/internal/gframe"
+	"graphpim/internal/graph"
+	"graphpim/internal/harness"
+	"graphpim/internal/machine"
+	"graphpim/internal/workloads"
+)
+
+// Re-exported core types. Aliases keep the public API importable without
+// reaching into internal packages.
+type (
+	// Graph is an immutable CSR property graph.
+	Graph = graph.Graph
+	// VID is a vertex identifier.
+	VID = graph.VID
+	// Workload is one benchmark of the GraphBIG suite.
+	Workload = workloads.Workload
+	// WorkloadInfo describes a workload's category and offloadability.
+	WorkloadInfo = workloads.Info
+	// Result is one simulation outcome.
+	Result = machine.Result
+	// MachineConfig is a complete simulated-system configuration.
+	MachineConfig = machine.Config
+	// Experiment reproduces one paper table or figure.
+	Experiment = harness.Experiment
+	// Table is an experiment's rendered output.
+	Table = harness.Table
+	// Env is the experiment environment (scale, caching).
+	Env = harness.Env
+)
+
+// Workload functional-output types (returned by Run.ExecuteFull).
+type (
+	// BFSOutput holds per-vertex depths.
+	BFSOutput = workloads.BFSOutput
+	// SSSPOutput holds per-vertex distances.
+	SSSPOutput = workloads.SSSPOutput
+	// DCOutput holds per-vertex degree centralities.
+	DCOutput = workloads.DCOutput
+	// CCompOutput holds per-vertex component labels.
+	CCompOutput = workloads.CCompOutput
+	// PRankOutput holds per-vertex PageRank values.
+	PRankOutput = workloads.PRankOutput
+	// KCoreOutput holds per-vertex core numbers.
+	KCoreOutput = workloads.KCoreOutput
+	// TCOutput holds triangle counts.
+	TCOutput = workloads.TCOutput
+	// BCOutput holds per-vertex betweenness centralities.
+	BCOutput = workloads.BCOutput
+	// FDOutput holds flagged accounts and component labels.
+	FDOutput = workloads.FDOutput
+	// RSOutput holds item similarities and top recommendations.
+	RSOutput = workloads.RSOutput
+)
+
+// Config selects one of the paper's three system configurations.
+type Config string
+
+// The evaluated system configurations.
+const (
+	ConfigBaseline Config = "baseline"
+	ConfigUPEI     Config = "upei"
+	ConfigGraphPIM Config = "graphpim"
+)
+
+// Graph generators.
+var (
+	// GenerateLDBC builds the LDBC-like scale-free graph family
+	// (Table VI): ~29 edges per vertex, heavy-tailed degrees.
+	GenerateLDBC = graph.LDBC
+	// GenerateBitcoinLike builds the transaction graph used by the
+	// fraud-detection application.
+	GenerateBitcoinLike = graph.BitcoinLike
+	// GenerateTwitterLike builds the follower graph used by the
+	// recommender application.
+	GenerateTwitterLike = graph.TwitterLike
+	// GenerateRMAT and GenerateErdosRenyi are general-purpose
+	// generators.
+	GenerateRMAT       = graph.RMAT
+	GenerateErdosRenyi = graph.ErdosRenyi
+	// LoadEdgeList reads a graph from SNAP-style edge-list text;
+	// SaveEdgeList writes one.
+	LoadEdgeList = graph.ReadEdgeList
+	SaveEdgeList = graph.WriteEdgeList
+)
+
+// Workload constructors (the GraphBIG suite of Table III).
+var (
+	NewBFS            = workloads.NewBFS
+	NewDFS            = workloads.NewDFS
+	NewDC             = workloads.NewDC
+	NewBC             = workloads.NewBC
+	NewSSSP           = workloads.NewSSSP
+	NewKCore          = workloads.NewKCore
+	NewCComp          = workloads.NewCComp
+	NewPRank          = workloads.NewPRank
+	NewTC             = workloads.NewTC
+	NewGibbs          = workloads.NewGibbs
+	NewGCons          = workloads.NewGCons
+	NewGUp            = workloads.NewGUp
+	NewTMorph         = workloads.NewTMorph
+	NewFraudDetection = workloads.NewFraudDetection
+	NewRecommender    = workloads.NewRecommender
+	// AllWorkloads returns the full suite; EvalWorkloads the eight of
+	// the evaluation figures; WorkloadByName looks one up.
+	AllWorkloads   = workloads.All
+	EvalWorkloads  = workloads.EvalSet
+	WorkloadByName = workloads.ByName
+)
+
+// Options configures a Run.
+type Options struct {
+	// Threads is the logical thread count (one simulated core each,
+	// max 16).
+	Threads int
+	// ScaledCaches shrinks L2/L3 to match scaled datasets; see
+	// DESIGN.md. When false, the full Table IV hierarchy is used.
+	ScaledCaches bool
+	// ExtendedAtomics enables the paper's proposed FP add/sub commands
+	// for offload configurations.
+	ExtendedAtomics bool
+}
+
+// DefaultOptions returns 16 threads with scaled caches.
+func DefaultOptions() Options {
+	return Options{Threads: 16, ScaledCaches: true}
+}
+
+// Run binds a graph to the framework so workloads can be simulated under
+// the different system configurations. Each Execute generates the
+// workload's trace functionally (verifying semantics end to end) and
+// replays it on a freshly assembled machine.
+type Run struct {
+	g    *Graph
+	opts Options
+}
+
+// NewRun prepares a simulation run over g.
+func NewRun(g *Graph, opts Options) *Run {
+	if opts.Threads <= 0 || opts.Threads > 16 {
+		panic(fmt.Sprintf("graphpim: thread count %d outside [1,16]", opts.Threads))
+	}
+	return &Run{g: g, opts: opts}
+}
+
+// machineConfig resolves a Config for one workload.
+func (r *Run) machineConfig(cfg Config, w Workload) machine.Config {
+	ext := r.opts.ExtendedAtomics || w.Info().NeedsFPExtension
+	var mc machine.Config
+	switch cfg {
+	case ConfigBaseline:
+		mc = machine.Baseline()
+	case ConfigUPEI:
+		mc = machine.UPEI(ext)
+	case ConfigGraphPIM:
+		mc = machine.GraphPIM(ext)
+	default:
+		panic(fmt.Sprintf("graphpim: unknown config %q", cfg))
+	}
+	mc.POU.PMRActive = mc.POU.OffloadAtomics && w.Info().ApplicableWith(ext)
+	if r.opts.ScaledCaches {
+		mc.Cache.L2Size = 128 << 10
+		mc.Cache.L3Size = 512 << 10
+	}
+	return mc
+}
+
+// Execute runs w under cfg and returns the timing result. The workload's
+// functional output is discarded; use ExecuteFull to keep it.
+func (r *Run) Execute(w Workload, cfg Config) Result {
+	res, _ := r.ExecuteFull(w, cfg)
+	return res
+}
+
+// ExecuteFull runs w under cfg and returns both the timing result and the
+// workload's functional output (e.g. BFS depths, PageRank values).
+func (r *Run) ExecuteFull(w Workload, cfg Config) (Result, any) {
+	fw := gframe.New(r.g, r.opts.Threads, gframe.DefaultCostModel())
+	out := w.Run(fw)
+	res := machine.RunTrace(r.machineConfig(cfg, w), fw.Space(), fw.Trace())
+	return res, out.Output
+}
+
+// Experiments returns every paper table/figure reproduction.
+func Experiments() []Experiment { return harness.All() }
+
+// ExtraExperiments returns reproductions of behaviours the paper
+// discusses qualitatively (e.g. hybrid HMC+DRAM systems).
+func ExtraExperiments() []Experiment { return harness.Extras() }
+
+// ExperimentByID looks an experiment up (e.g. "fig7-speedup").
+func ExperimentByID(id string) (Experiment, error) { return harness.ByID(id) }
+
+// DefaultEnv returns the experiment environment used for the recorded
+// results in EXPERIMENTS.md; QuickEnv a smaller one for fast iteration.
+var (
+	DefaultEnv = harness.DefaultEnv
+	QuickEnv   = harness.QuickEnv
+)
+
+// Model types: the analytical CPI model of Section IV-B5 and the uncore
+// energy model of Section IV-B4.
+type (
+	// ModelInputs are the measured quantities Eq. 1-2 consume.
+	ModelInputs = analytic.Inputs
+	// EnergyBreakdown is the Fig. 15 uncore energy split.
+	EnergyBreakdown = energy.Breakdown
+	// EnergyParams are the per-event energy coefficients.
+	EnergyParams = energy.Params
+)
+
+// MeasureModel derives analytical-model inputs from a baseline result the
+// way the paper reads hardware performance counters (Section IV-B5).
+func MeasureModel(res Result) ModelInputs {
+	return analytic.Measure(res, 16)
+}
+
+// ComputeEnergy evaluates the uncore energy model over one result.
+// cacheMB is the total cache capacity in megabytes.
+func ComputeEnergy(res Result, cacheMB float64) EnergyBreakdown {
+	return energy.Compute(energy.DefaultParams(), res, cacheMB)
+}
+
+// RunExperiment executes one experiment against env (nil means
+// DefaultEnv) and returns its table.
+func RunExperiment(id string, env *Env) (*Table, error) {
+	ex, err := harness.ByID(id)
+	if err != nil {
+		return nil, err
+	}
+	if env == nil {
+		env = harness.DefaultEnv()
+	}
+	return ex.Run(env), nil
+}

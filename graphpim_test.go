@@ -1,0 +1,72 @@
+package graphpim
+
+import (
+	"testing"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	g := GenerateLDBC(1024, 7)
+	run := NewRun(g, DefaultOptions())
+	base := run.Execute(NewBFS(0), ConfigBaseline)
+	gpim := run.Execute(NewBFS(0), ConfigGraphPIM)
+	if base.Cycles == 0 || gpim.Cycles == 0 {
+		t.Fatal("zero-cycle runs")
+	}
+	if gpim.Speedup(base) <= 1.0 {
+		t.Fatalf("GraphPIM speedup %.2f <= 1 on BFS", gpim.Speedup(base))
+	}
+}
+
+func TestExecuteFullReturnsFunctionalOutput(t *testing.T) {
+	g := GenerateLDBC(512, 7)
+	run := NewRun(g, DefaultOptions())
+	_, out := run.ExecuteFull(NewBFS(0), ConfigGraphPIM)
+	if out == nil {
+		t.Fatal("no functional output")
+	}
+}
+
+func TestNewRunValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("17 threads did not panic")
+		}
+	}()
+	NewRun(GenerateLDBC(64, 1), Options{Threads: 17})
+}
+
+func TestUnknownConfigPanics(t *testing.T) {
+	run := NewRun(GenerateLDBC(64, 1), DefaultOptions())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown config did not panic")
+		}
+	}()
+	run.Execute(NewDC(), Config("bogus"))
+}
+
+func TestExperimentRegistryViaFacade(t *testing.T) {
+	if len(Experiments()) != 21 {
+		t.Fatalf("Experiments() = %d, want 21", len(Experiments()))
+	}
+	tb, err := RunExperiment("table5-flits", QuickEnv())
+	if err != nil || len(tb.Rows) == 0 {
+		t.Fatalf("RunExperiment failed: %v", err)
+	}
+	if _, err := RunExperiment("nope", nil); err == nil {
+		t.Fatal("unknown experiment did not error")
+	}
+}
+
+func TestWorkloadLookupViaFacade(t *testing.T) {
+	w, err := WorkloadByName("PRank")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.Info().NeedsFPExtension {
+		t.Fatal("PRank should require the FP extension")
+	}
+	if len(AllWorkloads()) != 13 || len(EvalWorkloads()) != 8 {
+		t.Fatal("suite sizes wrong")
+	}
+}

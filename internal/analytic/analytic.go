@@ -1,0 +1,167 @@
+// Package analytic implements the analytical CPI model of Section IV-B5
+// (Equations 1 and 2), which the paper uses to project GraphPIM benefits
+// for applications too large to simulate:
+//
+//	CPI_total = CPI_other x (1 - P_ovl) + R_atomic x AIO
+//	AIO_host  = AOH + Lat_cache + Miss_atomic x Lat_mem
+//	AIO_pim   = Lat_pim
+//
+// where R_atomic is the atomic-instruction rate, AOH the in-core atomic
+// overhead (pipeline freeze and write-buffer drain), Lat_cache the cache
+// checking time, Miss_atomic the candidates' cache miss rate, and Lat_pim
+// the effective issue cost of a posted PIM atomic.
+//
+// Model inputs are measured from a baseline simulation's counters exactly
+// the way the paper measures hardware performance counters, and the
+// model's speedup predictions are validated against full simulations
+// (Fig. 16).
+package analytic
+
+import (
+	"fmt"
+
+	"graphpim/internal/machine"
+)
+
+// Inputs are the measured quantities the model consumes.
+type Inputs struct {
+	// CPIOther is the per-core CPI attributable to non-atomic work.
+	CPIOther float64
+	// OverlapPct is P_ovl, the fraction of atomic latency hidden under
+	// other work by out-of-order execution.
+	OverlapPct float64
+	// AtomicRate is atomic instructions per instruction.
+	AtomicRate float64
+	// HostAIO is the measured recoverable per-atomic overhead on the
+	// host path (locked RMW execution: cache checking, coherence,
+	// memory access, core serialization — excluding fence waits for
+	// older loads, which PIM offloading cannot reclaim), in cycles.
+	HostAIO float64
+	// CacheCheck is the cache-walk portion of HostAIO.
+	CacheCheck float64
+	// MissRate is the offloading candidates' cache miss rate.
+	MissRate float64
+	// PIMLat is the effective per-atomic cost once offloaded (posted
+	// atomics retire at issue).
+	PIMLat float64
+}
+
+// Measure derives model inputs from a baseline simulation result.
+//
+// One refinement over a naive reading of Eq. 1: the fence portion of a
+// host atomic's latency (waiting for older in-flight loads) is time the
+// program's dependence chains need anyway — offloading the atomic exposes
+// those chains rather than eliminating the cycles. Only the post-fence
+// part (the locked RMW: cache checking, coherence, memory access, core
+// serialization) is recoverable by PIM offloading, so HostAIO here is the
+// recoverable per-atomic overhead. This plays the role of the paper's
+// P_ovl overlap term and is what makes the model track simulation
+// (Fig. 16).
+func Measure(res machine.Result, numCores int) Inputs {
+	st := res.Stats
+	instr := float64(res.Instructions)
+	atomics := float64(st["mem.host_atomics"])
+	coreCycles := float64(res.Cycles) * float64(numCores)
+	inCore := float64(st["cpu.atomic.incore_cycles"])
+	drain := float64(st["cpu.atomic.drain_cycles"])
+	inCache := float64(st["cpu.atomic.incache_cycles"])
+	recoverable := inCore - drain + inCache
+	if recoverable < 0 {
+		recoverable = 0
+	}
+
+	in := Inputs{
+		OverlapPct: 0,
+		PIMLat:     6,
+	}
+	if instr > 0 {
+		in.CPIOther = (coreCycles - recoverable) / instr
+		in.AtomicRate = atomics / instr
+	}
+	if atomics > 0 {
+		in.HostAIO = recoverable / atomics
+		in.CacheCheck = inCache / atomics
+	}
+	if c := st["pou.candidates"]; c > 0 {
+		in.MissRate = float64(st["pou.candidates.miss"]) / float64(c)
+	}
+	return in
+}
+
+// BaselineCPI evaluates Eq. 1 for the host-atomic system.
+func (in Inputs) BaselineCPI() float64 {
+	return in.CPIOther*(1-in.OverlapPct) + in.AtomicRate*in.HostAIO
+}
+
+// GraphPIMCPI evaluates Eq. 1 with PIM offloading: the atomic's host
+// overhead and cache checking disappear; only the posted-issue cost
+// remains.
+func (in Inputs) GraphPIMCPI() float64 {
+	return in.CPIOther*(1-in.OverlapPct) + in.AtomicRate*in.PIMLat
+}
+
+// PredictedSpeedup returns the modeled GraphPIM speedup over baseline.
+func (in Inputs) PredictedSpeedup() float64 {
+	pim := in.GraphPIMCPI()
+	if pim == 0 {
+		return 0
+	}
+	return in.BaselineCPI() / pim
+}
+
+// HostOverheadPct returns the fraction of baseline time spent on atomic
+// overhead (Table VIII "Total host overhead").
+func (in Inputs) HostOverheadPct() float64 {
+	total := in.BaselineCPI()
+	if total == 0 {
+		return 0
+	}
+	return in.AtomicRate * in.HostAIO / total
+}
+
+// CacheCheckPct returns the fraction of baseline time spent on cache
+// checking for atomics (Table VIII "Total cache checking").
+func (in Inputs) CacheCheckPct() float64 {
+	total := in.BaselineCPI()
+	if total == 0 {
+		return 0
+	}
+	return in.AtomicRate * in.CacheCheck / total
+}
+
+// Validation compares the model against a simulated speedup.
+type Validation struct {
+	Workload  string
+	Simulated float64
+	Modeled   float64
+}
+
+// ErrorPct returns the relative error of the model in percent.
+func (v Validation) ErrorPct() float64 {
+	if v.Simulated == 0 {
+		return 0
+	}
+	e := (v.Modeled - v.Simulated) / v.Simulated * 100
+	if e < 0 {
+		return -e
+	}
+	return e
+}
+
+// String implements fmt.Stringer.
+func (v Validation) String() string {
+	return fmt.Sprintf("%s: simulated %.2fx, modeled %.2fx (%.1f%% error)",
+		v.Workload, v.Simulated, v.Modeled, v.ErrorPct())
+}
+
+// MeanError returns the average relative error over a validation set.
+func MeanError(vs []Validation) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range vs {
+		sum += v.ErrorPct()
+	}
+	return sum / float64(len(vs))
+}

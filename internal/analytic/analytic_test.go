@@ -1,0 +1,95 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"graphpim/internal/machine"
+)
+
+func TestMeasureFromCounters(t *testing.T) {
+	res := machine.Result{
+		Cycles:       1000,
+		Instructions: 4000,
+		Stats: map[string]uint64{
+			"mem.host_atomics":          400,
+			"cpu.atomic.incore_cycles":  6000,
+			"cpu.atomic.incache_cycles": 2000,
+			"pou.candidates":            400,
+			"pou.candidates.miss":       320,
+		},
+	}
+	in := Measure(res, 16)
+	if math.Abs(in.AtomicRate-0.1) > 1e-9 {
+		t.Fatalf("AtomicRate = %v", in.AtomicRate)
+	}
+	if math.Abs(in.HostAIO-20) > 1e-9 {
+		t.Fatalf("HostAIO = %v", in.HostAIO)
+	}
+	if math.Abs(in.CacheCheck-5) > 1e-9 {
+		t.Fatalf("CacheCheck = %v", in.CacheCheck)
+	}
+	if math.Abs(in.MissRate-0.8) > 1e-9 {
+		t.Fatalf("MissRate = %v", in.MissRate)
+	}
+	// CPIOther = (16000 - 8000) / 4000 = 2.
+	if math.Abs(in.CPIOther-2) > 1e-9 {
+		t.Fatalf("CPIOther = %v", in.CPIOther)
+	}
+}
+
+func TestModelArithmetic(t *testing.T) {
+	in := Inputs{CPIOther: 2, AtomicRate: 0.1, HostAIO: 30, PIMLat: 5}
+	if got := in.BaselineCPI(); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("BaselineCPI = %v", got)
+	}
+	if got := in.GraphPIMCPI(); math.Abs(got-2.5) > 1e-9 {
+		t.Fatalf("GraphPIMCPI = %v", got)
+	}
+	if got := in.PredictedSpeedup(); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("PredictedSpeedup = %v", got)
+	}
+	if got := in.HostOverheadPct(); math.Abs(got-0.6) > 1e-9 {
+		t.Fatalf("HostOverheadPct = %v", got)
+	}
+}
+
+func TestOverlapReducesBothCPIs(t *testing.T) {
+	base := Inputs{CPIOther: 2, AtomicRate: 0.1, HostAIO: 30, PIMLat: 5}
+	ovl := base
+	ovl.OverlapPct = 0.2
+	if ovl.BaselineCPI() >= base.BaselineCPI() {
+		t.Fatal("overlap did not reduce CPI")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	v := Validation{Workload: "BFS", Simulated: 2.0, Modeled: 2.2}
+	if math.Abs(v.ErrorPct()-10) > 1e-9 {
+		t.Fatalf("ErrorPct = %v", v.ErrorPct())
+	}
+	v2 := Validation{Workload: "DC", Simulated: 2.0, Modeled: 1.8}
+	if math.Abs(v2.ErrorPct()-10) > 1e-9 {
+		t.Fatalf("negative error not folded: %v", v2.ErrorPct())
+	}
+	if got := MeanError([]Validation{v, v2}); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("MeanError = %v", got)
+	}
+	if MeanError(nil) != 0 {
+		t.Fatal("MeanError(nil) != 0")
+	}
+	if v.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestZeroGuards(t *testing.T) {
+	var in Inputs
+	if in.PredictedSpeedup() != 0 || in.HostOverheadPct() != 0 || in.CacheCheckPct() != 0 {
+		t.Fatal("zero inputs must not divide by zero")
+	}
+	v := Validation{Simulated: 0, Modeled: 2}
+	if v.ErrorPct() != 0 {
+		t.Fatal("zero simulated speedup must not divide by zero")
+	}
+}

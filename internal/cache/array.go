@@ -1,0 +1,156 @@
+// Package cache models the host cache hierarchy of Table IV: 32KB private
+// L1 data caches, 256KB private inclusive L2 caches, and a 16MB shared
+// inclusive L3, with 64-byte lines kept coherent by a MESI protocol backed
+// by an in-L3 sharer directory.
+//
+// The hierarchy is a "latency oracle": an access updates tag/LRU/coherence
+// state immediately and returns the latency the requesting core observes.
+// Off-chip traffic (fills and writebacks) is reported to a Backend, which
+// the machine model wires to the HMC so that bank occupancy and link FLIT
+// accounting stay accurate.
+package cache
+
+import (
+	"fmt"
+
+	"graphpim/internal/memmap"
+)
+
+// MESI line states for private caches.
+type state uint8
+
+const (
+	stInvalid state = iota
+	stShared
+	stExclusive
+	stModified
+)
+
+func (s state) String() string {
+	switch s {
+	case stInvalid:
+		return "I"
+	case stShared:
+		return "S"
+	case stExclusive:
+		return "E"
+	case stModified:
+		return "M"
+	}
+	return fmt.Sprintf("state(%d)", uint8(s))
+}
+
+// line is one cache line's metadata. The simulator stores no data bytes;
+// functional values live in the workload layer.
+type line struct {
+	tag   memmap.Addr // line-aligned address; tag==0 means empty slot paired with valid=false
+	valid bool
+	st    state
+	dirty bool
+	lru   uint64
+	// Directory fields, used only in the L3 array.
+	sharers uint32 // bitmask of cores with the line in a private cache
+	owner   int8   // core holding the line in M/E state, -1 if none
+	// prefetched marks L3 lines brought in by the prefetcher and not
+	// yet touched by a demand access (accuracy accounting).
+	prefetched bool
+}
+
+// array is one set-associative cache structure.
+type array struct {
+	sets    [][]line
+	setMask uint64
+	useCtr  uint64
+}
+
+func newArray(sizeBytes, ways, lineSize int) *array {
+	if sizeBytes <= 0 || ways <= 0 || lineSize <= 0 {
+		panic("cache: non-positive geometry")
+	}
+	numLines := sizeBytes / lineSize
+	numSets := numLines / ways
+	if numSets == 0 {
+		numSets = 1
+	}
+	if numSets&(numSets-1) != 0 {
+		panic(fmt.Sprintf("cache: set count %d not a power of two", numSets))
+	}
+	sets := make([][]line, numSets)
+	backing := make([]line, numSets*ways)
+	for i := range sets {
+		sets[i] = backing[i*ways : (i+1)*ways]
+		for w := range sets[i] {
+			sets[i][w].owner = -1
+		}
+	}
+	return &array{sets: sets, setMask: uint64(numSets - 1)}
+}
+
+func (a *array) setFor(lineAddr memmap.Addr) []line {
+	return a.sets[(uint64(lineAddr)>>6)&a.setMask]
+}
+
+// lookup returns the line holding lineAddr, or nil.
+func (a *array) lookup(lineAddr memmap.Addr) *line {
+	set := a.setFor(lineAddr)
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// touch refreshes the LRU stamp of l.
+func (a *array) touch(l *line) {
+	a.useCtr++
+	l.lru = a.useCtr
+}
+
+// victim returns the line to replace in lineAddr's set: an invalid slot if
+// one exists, otherwise the least recently used line.
+func (a *array) victim(lineAddr memmap.Addr) *line {
+	set := a.setFor(lineAddr)
+	var lru *line
+	for i := range set {
+		if !set[i].valid {
+			return &set[i]
+		}
+		if lru == nil || set[i].lru < lru.lru {
+			lru = &set[i]
+		}
+	}
+	return lru
+}
+
+// install replaces the victim slot with a fresh line for lineAddr and
+// returns the evicted line metadata (valid=false when the slot was empty).
+func (a *array) install(lineAddr memmap.Addr, st state, dirty bool) (evicted line) {
+	v := a.victim(lineAddr)
+	evicted = *v
+	a.useCtr++
+	*v = line{tag: lineAddr, valid: true, st: st, dirty: dirty, lru: a.useCtr, owner: -1}
+	return evicted
+}
+
+// invalidate drops lineAddr from the array, returning the old metadata.
+func (a *array) invalidate(lineAddr memmap.Addr) (old line, was bool) {
+	if l := a.lookup(lineAddr); l != nil {
+		old, was = *l, true
+		*l = line{owner: -1}
+	}
+	return old, was
+}
+
+// countValid returns the number of valid lines (test helper).
+func (a *array) countValid() int {
+	n := 0
+	for _, set := range a.sets {
+		for i := range set {
+			if set[i].valid {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,462 @@
+package cache
+
+import (
+	"fmt"
+
+	"graphpim/internal/memmap"
+	"graphpim/internal/sim"
+)
+
+// Backend is the memory below the L3 — in this repository, the HMC model.
+// ReadLine is on the critical path and returns its latency; WriteLine is a
+// posted writeback whose latency is off the critical path but whose
+// bandwidth and bank occupancy still count.
+type Backend interface {
+	ReadLine(lineAddr memmap.Addr, now uint64) uint64
+	WriteLine(lineAddr memmap.Addr, now uint64)
+}
+
+// Level identifies where an access was satisfied.
+type Level uint8
+
+// Hierarchy levels.
+const (
+	LevelL1 Level = 1 + iota
+	LevelL2
+	LevelL3
+	LevelMem
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case LevelL1:
+		return "L1"
+	case LevelL2:
+		return "L2"
+	case LevelL3:
+		return "L3"
+	case LevelMem:
+		return "mem"
+	}
+	return fmt.Sprintf("level(%d)", uint8(l))
+}
+
+// Config is the cache geometry and latency configuration (Table IV
+// defaults via DefaultConfig).
+type Config struct {
+	NumCores int
+	LineSize int
+
+	L1Size, L1Ways int
+	L1Lat          uint64
+
+	L2Size, L2Ways int
+	L2Lat          uint64
+
+	L3Size, L3Ways int
+	L3Lat          uint64
+
+	// Prefetch configures the L3 next-line prefetcher (disabled by
+	// default, matching the paper's baseline).
+	Prefetch PrefetchConfig
+}
+
+// DefaultConfig returns the Table IV cache configuration: 32KB 8-way L1,
+// 256KB 8-way L2, 16MB 16-way L3, 64-byte lines.
+func DefaultConfig(numCores int) Config {
+	return Config{
+		NumCores: numCores,
+		LineSize: 64,
+		L1Size:   32 << 10, L1Ways: 8, L1Lat: 4,
+		L2Size: 256 << 10, L2Ways: 8, L2Lat: 12,
+		L3Size: 16 << 20, L3Ways: 16, L3Lat: 36,
+	}
+}
+
+// AccessResult reports the outcome of one cache access.
+type AccessResult struct {
+	// Latency is the total load-to-use latency in cycles, including any
+	// memory fetch.
+	Latency uint64
+	// Level is where the request was satisfied.
+	Level Level
+	// WalkLatency is the on-chip portion: tag checks plus coherence
+	// actions, excluding the off-chip fetch. Fig. 9's "Atomic-inCache"
+	// attribution uses this.
+	WalkLatency uint64
+	// CoherenceExtra is the subset of WalkLatency spent on coherence
+	// actions (upgrades, owner fetches, invalidations).
+	CoherenceExtra uint64
+}
+
+// Hierarchy is the full multi-core cache system.
+type Hierarchy struct {
+	cfg     Config
+	backend Backend
+	stats   *sim.Stats
+
+	l1, l2 []*array // per core
+	l3     *array
+}
+
+// New builds a Hierarchy. stats may be shared with other components.
+func New(cfg Config, backend Backend, stats *sim.Stats) *Hierarchy {
+	if cfg.NumCores <= 0 {
+		panic("cache: NumCores must be positive")
+	}
+	if cfg.NumCores > 32 {
+		panic("cache: directory bitmask supports at most 32 cores")
+	}
+	h := &Hierarchy{cfg: cfg, backend: backend, stats: stats}
+	for c := 0; c < cfg.NumCores; c++ {
+		h.l1 = append(h.l1, newArray(cfg.L1Size, cfg.L1Ways, cfg.LineSize))
+		h.l2 = append(h.l2, newArray(cfg.L2Size, cfg.L2Ways, cfg.LineSize))
+	}
+	h.l3 = newArray(cfg.L3Size, cfg.L3Ways, cfg.LineSize)
+	return h
+}
+
+// Config returns the hierarchy configuration.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+func bit(core int) uint32 { return 1 << uint(core) }
+
+// dropPrivate removes lineAddr from core's private caches and reports
+// whether any dropped copy was dirty.
+func (h *Hierarchy) dropPrivate(core int, lineAddr memmap.Addr) (dirty bool) {
+	if old, was := h.l1[core].invalidate(lineAddr); was && old.dirty {
+		dirty = true
+	}
+	if old, was := h.l2[core].invalidate(lineAddr); was && old.dirty {
+		dirty = true
+	}
+	return dirty
+}
+
+// invalidateSharers drops every private copy other than keep's and updates
+// the directory entry. Dirty remote data merges into the L3 copy.
+func (h *Hierarchy) invalidateSharers(l3l *line, keep int) {
+	for c := 0; c < h.cfg.NumCores; c++ {
+		if c == keep || l3l.sharers&bit(c) == 0 {
+			continue
+		}
+		if h.dropPrivate(c, l3l.tag) {
+			l3l.dirty = true
+		}
+		h.stats.Inc("cache.coherence.invalidations")
+	}
+	l3l.sharers &= bit(keep)
+	if l3l.owner != int8(keep) {
+		l3l.owner = -1
+	}
+}
+
+// evictL1 handles an L1 victim: dirty data merges into the (inclusive) L2
+// copy.
+func (h *Hierarchy) evictL1(core int, ev line) {
+	if !ev.valid || !ev.dirty {
+		return
+	}
+	if l2l := h.l2[core].lookup(ev.tag); l2l != nil {
+		l2l.dirty = true
+		l2l.st = stModified
+	}
+}
+
+// evictL2 handles an L2 victim: the L1 copy is back-invalidated to keep
+// inclusion, dirty data merges into the L3 copy, and the directory entry
+// drops this core.
+func (h *Hierarchy) evictL2(core int, ev line) {
+	if !ev.valid {
+		return
+	}
+	dirty := ev.dirty
+	if old, was := h.l1[core].invalidate(ev.tag); was {
+		h.stats.Inc("cache.inclusion.l1_backinval")
+		if old.dirty {
+			dirty = true
+		}
+	}
+	if l3l := h.l3.lookup(ev.tag); l3l != nil {
+		if dirty {
+			l3l.dirty = true
+		}
+		l3l.sharers &^= bit(core)
+		if l3l.owner == int8(core) {
+			l3l.owner = -1
+		}
+	}
+}
+
+// evictL3 handles an L3 victim: every private copy is back-invalidated and
+// dirty data is written back to memory.
+func (h *Hierarchy) evictL3(ev line, now uint64) {
+	if !ev.valid {
+		return
+	}
+	dirty := ev.dirty
+	for c := 0; c < h.cfg.NumCores; c++ {
+		if ev.sharers&bit(c) == 0 {
+			continue
+		}
+		if h.dropPrivate(c, ev.tag) {
+			dirty = true
+		}
+		h.stats.Inc("cache.inclusion.l3_backinval")
+	}
+	if dirty {
+		h.stats.Inc("cache.mem.writebacks")
+		h.backend.WriteLine(ev.tag, now)
+	}
+}
+
+// fillPrivate installs lineAddr into core's L2 and L1 with the given state.
+func (h *Hierarchy) fillPrivate(core int, lineAddr memmap.Addr, st state) {
+	h.evictL2(core, h.l2[core].install(lineAddr, st, false))
+	h.evictL1(core, h.l1[core].install(lineAddr, st, st == stModified))
+}
+
+// Access performs a read (write=false) or write/RFO (write=true) by core
+// at addr. now is the absolute cycle at which the access starts, used for
+// backend timing.
+func (h *Hierarchy) Access(core int, addr memmap.Addr, write bool, now uint64) AccessResult {
+	lineAddr := memmap.LineAddr(addr)
+	res := AccessResult{}
+	res.Latency = h.cfg.L1Lat
+	h.stats.Inc("cache.l1.access")
+
+	// L1 lookup.
+	if l := h.l1[core].lookup(lineAddr); l != nil {
+		h.l1[core].touch(l)
+		h.stats.Inc("cache.l1.hit")
+		if !write {
+			res.Level = LevelL1
+			res.WalkLatency = res.Latency
+			return res
+		}
+		if l.st == stModified || l.st == stExclusive {
+			l.st = stModified
+			l.dirty = true
+			if l2l := h.l2[core].lookup(lineAddr); l2l != nil {
+				l2l.st = stModified
+			}
+			if l3l := h.l3.lookup(lineAddr); l3l != nil {
+				l3l.owner = int8(core)
+			}
+			res.Level = LevelL1
+			res.WalkLatency = res.Latency
+			return res
+		}
+		// Write hit on a Shared line: directory upgrade.
+		up := h.cfg.L2Lat + h.cfg.L3Lat
+		res.Latency += up
+		res.CoherenceExtra += up
+		h.stats.Inc("cache.coherence.upgrades")
+		if l3l := h.l3.lookup(lineAddr); l3l != nil {
+			h.invalidateSharers(l3l, core)
+			l3l.owner = int8(core)
+			l3l.sharers = bit(core)
+		}
+		l.st = stModified
+		l.dirty = true
+		if l2l := h.l2[core].lookup(lineAddr); l2l != nil {
+			l2l.st = stModified
+		}
+		res.Level = LevelL1
+		res.WalkLatency = res.Latency
+		return res
+	}
+	h.stats.Inc("cache.l1.miss")
+
+	// L2 lookup.
+	res.Latency += h.cfg.L2Lat
+	h.stats.Inc("cache.l2.access")
+	if l := h.l2[core].lookup(lineAddr); l != nil {
+		h.l2[core].touch(l)
+		h.stats.Inc("cache.l2.hit")
+		st := l.st
+		if write {
+			if st == stShared {
+				up := h.cfg.L3Lat
+				res.Latency += up
+				res.CoherenceExtra += up
+				h.stats.Inc("cache.coherence.upgrades")
+				if l3l := h.l3.lookup(lineAddr); l3l != nil {
+					h.invalidateSharers(l3l, core)
+					l3l.owner = int8(core)
+					l3l.sharers = bit(core)
+				}
+			} else if l3l := h.l3.lookup(lineAddr); l3l != nil {
+				l3l.owner = int8(core)
+			}
+			st = stModified
+			l.st = stModified
+			l.dirty = true
+		}
+		h.evictL1(core, h.l1[core].install(lineAddr, st, st == stModified && write))
+		res.Level = LevelL2
+		res.WalkLatency = res.Latency
+		return res
+	}
+	h.stats.Inc("cache.l2.miss")
+
+	// L3 lookup.
+	res.Latency += h.cfg.L3Lat
+	h.stats.Inc("cache.l3.access")
+	if l3l := h.l3.lookup(lineAddr); l3l != nil {
+		h.l3.touch(l3l)
+		h.stats.Inc("cache.l3.hit")
+		if l3l.prefetched {
+			l3l.prefetched = false
+			h.stats.Inc("cache.prefetch.useful")
+		}
+		// Remote owner: cache-to-cache transfer.
+		if l3l.owner >= 0 && int(l3l.owner) != core {
+			res.Latency += h.cfg.L3Lat
+			res.CoherenceExtra += h.cfg.L3Lat
+			h.stats.Inc("cache.coherence.c2c")
+			oc := int(l3l.owner)
+			if write {
+				if h.dropPrivate(oc, lineAddr) {
+					l3l.dirty = true
+				}
+				l3l.sharers &^= bit(oc)
+				h.stats.Inc("cache.coherence.invalidations")
+			} else {
+				// Downgrade owner to Shared; dirty data merges to L3.
+				if ol := h.l1[oc].lookup(lineAddr); ol != nil {
+					if ol.dirty {
+						l3l.dirty = true
+						ol.dirty = false
+					}
+					ol.st = stShared
+				}
+				if ol := h.l2[oc].lookup(lineAddr); ol != nil {
+					if ol.dirty {
+						l3l.dirty = true
+						ol.dirty = false
+					}
+					ol.st = stShared
+				}
+			}
+			l3l.owner = -1
+		}
+		var st state
+		if write {
+			h.invalidateSharers(l3l, core)
+			l3l.owner = int8(core)
+			l3l.sharers = bit(core)
+			st = stModified
+		} else {
+			if l3l.sharers&^bit(core) != 0 {
+				st = stShared
+				l3l.owner = -1
+			} else {
+				st = stExclusive
+				l3l.owner = int8(core)
+			}
+			l3l.sharers |= bit(core)
+		}
+		h.fillPrivate(core, lineAddr, st)
+		res.Level = LevelL3
+		res.WalkLatency = res.Latency
+		return res
+	}
+	h.stats.Inc("cache.l3.miss")
+
+	// Memory fetch.
+	res.WalkLatency = res.Latency
+	h.stats.Inc("cache.mem.reads")
+	memLat := h.backend.ReadLine(lineAddr, now+res.Latency)
+	res.Latency += memLat
+	if h.cfg.Prefetch.Depth > 0 {
+		h.prefetch(lineAddr, now+res.Latency)
+	}
+
+	ev := h.l3.install(lineAddr, stInvalid, false)
+	h.evictL3(ev, now+res.Latency)
+	l3l := h.l3.lookup(lineAddr)
+	l3l.sharers = bit(core)
+	l3l.owner = int8(core)
+	st := stExclusive
+	if write {
+		st = stModified
+	}
+	h.fillPrivate(core, lineAddr, st)
+	res.Level = LevelMem
+	return res
+}
+
+// Probe reports whether lineAddr is present anywhere visible to core (its
+// own L1/L2 or the shared, inclusive L3) without changing any state. The
+// U-PEI configuration uses this as its ideal locality monitor.
+func (h *Hierarchy) Probe(core int, addr memmap.Addr) (Level, bool) {
+	lineAddr := memmap.LineAddr(addr)
+	if h.l1[core].lookup(lineAddr) != nil {
+		return LevelL1, true
+	}
+	if h.l2[core].lookup(lineAddr) != nil {
+		return LevelL2, true
+	}
+	if h.l3.lookup(lineAddr) != nil {
+		return LevelL3, true
+	}
+	return LevelMem, false
+}
+
+// CheckInvariants validates MESI/inclusion invariants across the whole
+// hierarchy; tests call this after randomized access sequences.
+func (h *Hierarchy) CheckInvariants() error {
+	// Collect every private line and check inclusion + directory.
+	for c := 0; c < h.cfg.NumCores; c++ {
+		for _, set := range h.l1[c].sets {
+			for i := range set {
+				l := set[i]
+				if !l.valid {
+					continue
+				}
+				if h.l2[c].lookup(l.tag) == nil {
+					return fmt.Errorf("L1 line %#x of core %d not in L2 (inclusion)", l.tag, c)
+				}
+			}
+		}
+		for _, set := range h.l2[c].sets {
+			for i := range set {
+				l := set[i]
+				if !l.valid {
+					continue
+				}
+				l3l := h.l3.lookup(l.tag)
+				if l3l == nil {
+					return fmt.Errorf("L2 line %#x of core %d not in L3 (inclusion)", l.tag, c)
+				}
+				if l3l.sharers&bit(c) == 0 {
+					return fmt.Errorf("L2 line %#x of core %d missing from directory", l.tag, c)
+				}
+				if (l.st == stModified || l.st == stExclusive) && l3l.sharers&^bit(c) != 0 {
+					return fmt.Errorf("line %#x is %v in core %d but has other sharers %#x",
+						l.tag, l.st, c, l3l.sharers&^bit(c))
+				}
+			}
+		}
+	}
+	// Directory entries must be backed by actual private copies.
+	for _, set := range h.l3.sets {
+		for i := range set {
+			l := set[i]
+			if !l.valid {
+				continue
+			}
+			for c := 0; c < h.cfg.NumCores; c++ {
+				if l.sharers&bit(c) != 0 && h.l2[c].lookup(l.tag) == nil {
+					return fmt.Errorf("directory says core %d shares %#x but L2 has no copy", c, l.tag)
+				}
+			}
+			if l.owner >= 0 && l.sharers&bit(int(l.owner)) == 0 {
+				return fmt.Errorf("owner %d of %#x is not a sharer", l.owner, l.tag)
+			}
+		}
+	}
+	return nil
+}

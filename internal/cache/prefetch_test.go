@@ -1,0 +1,88 @@
+package cache
+
+import (
+	"testing"
+
+	"graphpim/internal/memmap"
+	"graphpim/internal/sim"
+)
+
+func prefetchH(depth int) (*Hierarchy, *fakeBackend, *sim.Stats) {
+	be := &fakeBackend{lat: 100}
+	st := sim.NewStats()
+	cfg := DefaultConfig(1)
+	cfg.Prefetch.Depth = depth
+	return New(cfg, be, st), be, st
+}
+
+func TestPrefetcherIssuesNextLines(t *testing.T) {
+	h, be, st := prefetchH(2)
+	h.Access(0, 0x1000, false, 0)
+	// Demand read + 2 prefetches.
+	if len(be.reads) != 3 {
+		t.Fatalf("backend reads = %v", be.reads)
+	}
+	if st.Get("cache.prefetch.issued") != 2 {
+		t.Fatalf("issued = %d", st.Get("cache.prefetch.issued"))
+	}
+	// The next sequential access hits in L3 thanks to the prefetch.
+	r := h.Access(0, 0x1040, false, 10)
+	if r.Level != LevelL3 {
+		t.Fatalf("sequential access after prefetch hit %v, want L3", r.Level)
+	}
+	if st.Get("cache.prefetch.useful") != 1 {
+		t.Fatalf("useful = %d", st.Get("cache.prefetch.useful"))
+	}
+}
+
+func TestPrefetcherDisabledByDefault(t *testing.T) {
+	h, be, _ := newH(1)
+	h.Access(0, 0x1000, false, 0)
+	if len(be.reads) != 1 {
+		t.Fatalf("default config prefetched: %v", be.reads)
+	}
+}
+
+func TestPrefetchRedundantSuppressed(t *testing.T) {
+	h, _, st := prefetchH(1)
+	h.Access(0, 0x2000, false, 0) // prefetches 0x2040
+	h.Access(0, 0x2040, false, 1) // L3 hit; would prefetch 0x2080
+	h.Access(0, 0x3000, false, 2) // prefetches 0x3040
+	h.Access(0, 0x2FC0, false, 3) // demand-miss; prefetch of 0x3000 is redundant
+	if st.Get("cache.prefetch.redundant") == 0 {
+		t.Fatal("redundant prefetch not suppressed")
+	}
+}
+
+func TestPrefetchAccuracyRandomStream(t *testing.T) {
+	// A random access stream over a large footprint: next-line prefetches
+	// are rarely useful — the paper's argument for why prefetching does
+	// not rescue graph-property access.
+	h, _, _ := prefetchH(1)
+	r := sim.NewRand(3)
+	for i := 0; i < 4000; i++ {
+		h.Access(0, memmap.Addr(r.Intn(1<<20))<<6, false, uint64(i))
+	}
+	issued, useful := h.PrefetchAccuracy()
+	if issued == 0 {
+		t.Fatal("no prefetches issued")
+	}
+	if float64(useful)/float64(issued) > 0.05 {
+		t.Fatalf("random stream prefetch accuracy %.2f implausibly high",
+			float64(useful)/float64(issued))
+	}
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefetchSequentialStreamIsAccurate(t *testing.T) {
+	h, _, _ := prefetchH(1)
+	for i := 0; i < 500; i++ {
+		h.Access(0, memmap.Addr(i*64), false, uint64(i))
+	}
+	issued, useful := h.PrefetchAccuracy()
+	if float64(useful) < float64(issued)*0.9 {
+		t.Fatalf("sequential prefetch accuracy too low: %d/%d", useful, issued)
+	}
+}

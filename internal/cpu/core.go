@@ -1,0 +1,588 @@
+// Package cpu models the host cores of Table IV: 16 out-of-order cores at
+// 2GHz with a 4-wide issue front end, a reorder buffer, a write buffer,
+// and MSHR-limited memory-level parallelism.
+//
+// Cores are trace-driven: each core replays one thread's instruction
+// stream through a dispatch/complete/retire pipeline. Dispatch is in-order
+// but does not stall on data dependencies — a dependent operation is
+// dispatched with an issue time equal to its producer's completion, so
+// independent cache misses overlap up to the MSHR count (memory-level
+// parallelism). Host atomic instructions exhibit the overheads the paper
+// attributes to them (Section II-D): the write buffer drains, older memory
+// operations complete first (fence semantics of the x86 "lock" prefix),
+// and the pipeline freezes until the atomic finishes — destroying MLP.
+// Offloaded (PIM) atomics dispatch like loads, freeze nothing, and — when
+// their return value is unused — retire as soon as the request is posted.
+package cpu
+
+import (
+	"fmt"
+
+	"graphpim/internal/sim"
+	"graphpim/internal/trace"
+)
+
+// Config holds the core microarchitecture parameters.
+type Config struct {
+	// IssueWidth is instructions dispatched and retired per cycle.
+	IssueWidth int
+	// ALUWidth caps compute instructions dispatched per cycle, modeling
+	// ALU ports and dependency chains inside compute blocks.
+	ALUWidth int
+	// ROBSize is the reorder buffer capacity.
+	ROBSize int
+	// WriteBufferSize is the store buffer capacity.
+	WriteBufferSize int
+	// MSHRs bounds outstanding off-chip loads per core.
+	MSHRs int
+	// AtomicQueue bounds outstanding offloaded PIM atomics per core.
+	AtomicQueue int
+	// CASFailFlush is the speculation-flush penalty in cycles charged
+	// when a CAS's comparison fails and the retry path re-executes.
+	CASFailFlush uint64
+	// FrontendBubble is the fetch-refill penalty after a pipeline
+	// freeze (host atomic or barrier release).
+	FrontendBubble uint64
+}
+
+// DefaultConfig returns the Table IV core configuration.
+func DefaultConfig() Config {
+	return Config{
+		IssueWidth:      4,
+		ALUWidth:        2,
+		ROBSize:         192,
+		WriteBufferSize: 64,
+		MSHRs:           16,
+		AtomicQueue:     16,
+		CASFailFlush:    14,
+		FrontendBubble:  3,
+	}
+}
+
+// MemResult describes one load's or store's completion.
+type MemResult struct {
+	// CompleteAt is the absolute cycle the value is available (loads) or
+	// the write leaves the write buffer (stores).
+	CompleteAt uint64
+	// OffChip marks accesses that left the chip (LLC miss or UC), which
+	// occupy an MSHR until completion.
+	OffChip bool
+}
+
+// AtomicResult describes one atomic's execution as decided by the POU and
+// carried out by the memory system.
+type AtomicResult struct {
+	// Blocking is true for host atomics: the pipeline freezes until
+	// CompleteAt.
+	Blocking bool
+	// AcceptedAt is when the request has been handed to the memory
+	// system; a non-returning offloaded atomic retires then.
+	AcceptedAt uint64
+	// CompleteAt is when the result (or response) is available.
+	CompleteAt uint64
+	// InCacheCycles attributes the cache-checking and coherence portion
+	// of a blocking atomic's latency (Fig. 9 "Atomic-inCache").
+	InCacheCycles uint64
+	// OffChip marks offloaded atomics, which occupy an atomic-queue
+	// entry until CompleteAt.
+	OffChip bool
+	// ChainPenalty delays the core's load chain: the mandatory cache
+	// check of a locality-aware offload (U-PEI) contends with in-flight
+	// loads at the cache ports. GraphPIM's direct offload sets zero —
+	// the "avoids unnecessary cache checking time" effect.
+	ChainPenalty uint64
+}
+
+// MemorySystem is the interface the core issues memory operations to; the
+// machine package implements it on top of the POU, caches, and HMC. The
+// `at` argument is the operation's issue time, which may be later than the
+// current cycle when the operation waits for a producer.
+type MemorySystem interface {
+	Load(core int, in trace.Instr, at uint64) MemResult
+	Store(core int, in trace.Instr, at uint64) MemResult
+	// AtomicBlocking reports, without side effects, whether in would
+	// execute as a blocking host atomic.
+	AtomicBlocking(core int, in trace.Instr) bool
+	Atomic(core int, in trace.Instr, at uint64) AtomicResult
+}
+
+// StallReason classifies why a core made no progress in a cycle.
+type StallReason uint8
+
+// Stall reasons. The zero value means the core dispatched work.
+const (
+	StallNone StallReason = iota
+	// StallROBFull: the reorder buffer is full behind a long-latency op.
+	StallROBFull
+	// StallWBFull: the write buffer is full.
+	StallWBFull
+	// StallMSHR: all MSHRs (or atomic-queue entries) are occupied.
+	StallMSHR
+	// StallFrozen: the pipeline is frozen by a host atomic, a CAS-fail
+	// flush, or a frontend bubble; these cycles are pre-attributed at
+	// dispatch time to the fine-grained atomic counters.
+	StallFrozen
+	// StallBarrier: the core waits at a barrier.
+	StallBarrier
+	// StallDrainOut: the trace is exhausted (or a barrier is next) and
+	// in-flight work drains.
+	StallDrainOut
+	// StallDone: the core has fully finished.
+	StallDone
+)
+
+func (s StallReason) String() string {
+	switch s {
+	case StallNone:
+		return "active"
+	case StallROBFull:
+		return "rob_full"
+	case StallWBFull:
+		return "wb_full"
+	case StallMSHR:
+		return "mshr"
+	case StallFrozen:
+		return "frozen"
+	case StallBarrier:
+		return "barrier"
+	case StallDrainOut:
+		return "drain_out"
+	case StallDone:
+		return "done"
+	}
+	return fmt.Sprintf("stall(%d)", uint8(s))
+}
+
+// robEntry is one in-flight instruction.
+type robEntry struct {
+	doneAt uint64
+}
+
+// Core is one simulated out-of-order core.
+type Core struct {
+	id    int
+	cfg   Config
+	mem   MemorySystem
+	stats *sim.Stats
+
+	stream      []trace.Instr
+	pc          int
+	computeLeft int  // remaining units of the current compute batch
+	computeDep  bool // first unit of the batch depends on lastMemDone
+
+	rob   []robEntry // FIFO
+	wb    []uint64   // store completion times
+	mshr  []uint64   // outstanding off-chip load completion times
+	atomq []uint64   // outstanding offloaded atomic completion times
+
+	lastMemDone  uint64 // completion time of the newest load or atomic
+	lastLoadDone uint64 // completion time of the newest load (value chain)
+	frozenUntil  uint64
+	ffUntil      uint64 // compute fast-forward horizon (attributed active)
+
+	waitingBarrier bool
+	retired        uint64
+	lastReason     StallReason
+}
+
+// NewCore builds a core replaying stream against mem.
+func NewCore(id int, cfg Config, mem MemorySystem, stream []trace.Instr, stats *sim.Stats) *Core {
+	if cfg.IssueWidth <= 0 || cfg.ROBSize <= 0 {
+		panic("cpu: invalid core config")
+	}
+	if cfg.ALUWidth <= 0 {
+		cfg.ALUWidth = cfg.IssueWidth
+	}
+	return &Core{
+		id:     id,
+		cfg:    cfg,
+		mem:    mem,
+		stats:  stats,
+		stream: stream,
+		rob:    make([]robEntry, 0, cfg.ROBSize),
+	}
+}
+
+// Retired returns the number of retired instructions.
+func (c *Core) Retired() uint64 { return c.retired }
+
+// WaitingBarrier reports whether the core is parked at a barrier.
+func (c *Core) WaitingBarrier() bool { return c.waitingBarrier }
+
+// ReleaseBarrier resumes a core parked at a barrier, applying the
+// frontend refill bubble.
+func (c *Core) ReleaseBarrier(now uint64) {
+	if !c.waitingBarrier {
+		return
+	}
+	c.waitingBarrier = false
+	c.frozenUntil = now + c.cfg.FrontendBubble
+	c.stats.Add("cpu.frontend_cycles", c.cfg.FrontendBubble)
+}
+
+// Done reports whether the core has retired everything.
+func (c *Core) Done() bool {
+	return c.pc >= len(c.stream) && c.computeLeft == 0 &&
+		len(c.rob) == 0 && len(c.wb) == 0 && !c.waitingBarrier
+}
+
+func expire(times []uint64, now uint64) []uint64 {
+	out := times[:0]
+	for _, t := range times {
+		if t > now {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func maxTime(times []uint64) uint64 {
+	var m uint64
+	for _, t := range times {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+func minTime(times []uint64) uint64 {
+	m := ^uint64(0)
+	for _, t := range times {
+		if t < m {
+			m = t
+		}
+	}
+	return m
+}
+
+func maxu(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// retire pops completed ROB entries in order, up to IssueWidth.
+func (c *Core) retire(now uint64) {
+	n := 0
+	for len(c.rob) > 0 && n < c.cfg.IssueWidth && c.rob[0].doneAt <= now {
+		c.rob = c.rob[1:]
+		c.retired++
+		n++
+	}
+	if n > 0 {
+		c.stats.Add("cpu.retired", uint64(n))
+	}
+}
+
+// attribute charges elapsed cycles to the state the core was in since the
+// previous tick.
+func (c *Core) attribute(elapsed uint64) {
+	if elapsed == 0 {
+		return
+	}
+	switch c.lastReason {
+	case StallNone:
+		c.stats.Add("cpu.cycles.active", elapsed)
+	case StallROBFull:
+		c.stats.Add("cpu.cycles.stall_rob", elapsed)
+	case StallWBFull:
+		c.stats.Add("cpu.cycles.stall_wb", elapsed)
+	case StallMSHR:
+		c.stats.Add("cpu.cycles.stall_mshr", elapsed)
+	case StallFrozen:
+		// Pre-attributed at dispatch time to the atomic counters.
+		c.stats.Add("cpu.cycles.frozen", elapsed)
+	case StallBarrier:
+		c.stats.Add("cpu.cycles.barrier", elapsed)
+	case StallDrainOut:
+		c.stats.Add("cpu.cycles.drain_out", elapsed)
+	case StallDone:
+		c.stats.Add("cpu.cycles.idle_done", elapsed)
+	}
+}
+
+// issueTime computes when a memory instruction's operands are ready: a
+// dependent memory operation chains through the most recent load (pointer
+// chase / value flow); posted atomics never feed addresses.
+func (c *Core) issueTime(in trace.Instr, now uint64) uint64 {
+	if in.DepPrev() {
+		return maxu(now, c.lastLoadDone)
+	}
+	return now
+}
+
+// Tick advances the core to absolute cycle now; elapsed is the cycles
+// since the previous tick (attributed to the previous state). It returns
+// a lower bound on the next cycle at which the core's state can change,
+// which the machine uses to fast-forward quiescent periods.
+func (c *Core) Tick(now, elapsed uint64) (next uint64) {
+	c.attribute(elapsed)
+
+	c.retire(now)
+	c.wb = expire(c.wb, now)
+	c.mshr = expire(c.mshr, now)
+	c.atomq = expire(c.atomq, now)
+
+	if c.Done() {
+		c.lastReason = StallDone
+		return ^uint64(0)
+	}
+	if c.waitingBarrier {
+		c.lastReason = StallBarrier
+		return ^uint64(0)
+	}
+	if now < c.ffUntil {
+		c.lastReason = StallNone
+		return c.ffUntil
+	}
+	if now < c.frozenUntil {
+		c.lastReason = StallFrozen
+		return c.frozenUntil
+	}
+
+	// Fast-forward long, unobstructed compute batches: with an empty
+	// machine (no in-flight memory) a batch retires at exactly ALUWidth
+	// per cycle, so the whole stretch is accounted in one step instead
+	// of cycle-by-cycle. This is purely a simulator optimization; the
+	// cycle arithmetic is identical.
+	if c.computeLeft > 4*c.cfg.IssueWidth &&
+		len(c.wb) == 0 && len(c.mshr) == 0 && len(c.atomq) == 0 &&
+		(!c.computeDep || c.lastMemDone <= now) {
+		// Any remaining ROB entries must already be complete; they
+		// retire inside the fast-forwarded stretch at IssueWidth per
+		// cycle alongside the new computes.
+		robDone := true
+		for _, e := range c.rob {
+			if e.doneAt > now {
+				robDone = false
+				break
+			}
+		}
+		if robDone {
+			c.computeDep = false
+			n := c.computeLeft - 1 // leave the tail for the normal path
+			cycles := uint64(n / c.cfg.ALUWidth)
+			if cycles > 1 {
+				n = int(cycles) * c.cfg.ALUWidth
+				c.computeLeft -= n
+				drained := len(c.rob)
+				c.rob = c.rob[:0]
+				c.retired += uint64(n + drained)
+				c.stats.Add("cpu.retired", uint64(n+drained))
+				c.stats.Add("cpu.dispatched", uint64(n))
+				c.ffUntil = now + cycles
+				c.lastReason = StallNone
+				return c.ffUntil
+			}
+		}
+	}
+
+	dispatched, aluUsed := 0, 0
+	reason := StallNone
+	next = now + 1
+
+dispatch:
+	for dispatched < c.cfg.IssueWidth {
+		in, ok := c.peek()
+		if !ok {
+			if dispatched == 0 {
+				reason = StallDrainOut
+				next = c.drainNext(now)
+			}
+			break
+		}
+		if len(c.rob) >= c.cfg.ROBSize {
+			reason = StallROBFull
+			next = c.rob[0].doneAt
+			break
+		}
+		switch in.Kind {
+		case trace.KindCompute:
+			if c.computeLeft == 0 {
+				c.computeLeft = int(in.N)
+				c.computeDep = in.DepPrev()
+				c.pc++
+				if c.computeLeft == 0 {
+					continue
+				}
+			}
+			if aluUsed >= c.cfg.ALUWidth {
+				break dispatch
+			}
+			done := now + 1
+			if c.computeDep {
+				done = maxu(now, c.lastMemDone) + 1
+				c.computeDep = false
+			}
+			c.computeLeft--
+			aluUsed++
+			c.rob = append(c.rob, robEntry{doneAt: done})
+			dispatched++
+
+		case trace.KindLoad:
+			if len(c.mshr) >= c.cfg.MSHRs {
+				reason = StallMSHR
+				next = minTime(c.mshr)
+				break dispatch
+			}
+			res := c.mem.Load(c.id, in, c.issueTime(in, now))
+			if res.OffChip {
+				c.mshr = append(c.mshr, res.CompleteAt)
+			}
+			if res.CompleteAt > c.lastMemDone {
+				c.lastMemDone = res.CompleteAt
+			}
+			if res.CompleteAt > c.lastLoadDone {
+				c.lastLoadDone = res.CompleteAt
+			}
+			c.rob = append(c.rob, robEntry{doneAt: res.CompleteAt})
+			c.pc++
+			dispatched++
+
+		case trace.KindStore:
+			if len(c.wb) >= c.cfg.WriteBufferSize {
+				reason = StallWBFull
+				next = minTime(c.wb)
+				break dispatch
+			}
+			res := c.mem.Store(c.id, in, c.issueTime(in, now))
+			c.wb = append(c.wb, res.CompleteAt)
+			// The store retires once buffered.
+			c.rob = append(c.rob, robEntry{doneAt: now + 1})
+			c.pc++
+			dispatched++
+
+		case trace.KindAtomic:
+			if c.mem.AtomicBlocking(c.id, in) {
+				// Host atomic: fence semantics. The write buffer
+				// drains and all older memory operations complete
+				// before the locked RMW issues; the pipeline freezes
+				// until it finishes.
+				//
+				// Attribution (Fig. 9): waiting for the atomic's own
+				// operand (a dependent load) is an ordinary backend
+				// stall; only the extra wait the fence imposes and the
+				// locked RMW itself count as atomic overhead.
+				naturalReady := c.issueTime(in, now)
+				fenceReady := maxu(naturalReady, maxu(maxTime(c.wb), c.lastMemDone))
+				res := c.mem.Atomic(c.id, in, fenceReady)
+				c.stats.Add("cpu.cycles.dep_wait", naturalReady-now)
+				drain := fenceReady - naturalReady
+				c.stats.Add("cpu.atomic.drain_cycles", drain)
+				freeze := res.CompleteAt - fenceReady
+				inCache := res.InCacheCycles
+				if inCache > freeze {
+					inCache = freeze
+				}
+				c.stats.Add("cpu.atomic.incore_cycles", drain+freeze-inCache)
+				c.stats.Add("cpu.atomic.incache_cycles", inCache)
+				fz := res.CompleteAt
+				if in.CASFailed() {
+					fz += c.cfg.CASFailFlush
+					c.stats.Add("cpu.badspec_cycles", c.cfg.CASFailFlush)
+				}
+				fz += c.cfg.FrontendBubble
+				c.stats.Add("cpu.frontend_cycles", c.cfg.FrontendBubble)
+				c.frozenUntil = fz
+				c.lastMemDone = res.CompleteAt
+				c.lastLoadDone = res.CompleteAt
+				c.rob = append(c.rob, robEntry{doneAt: res.CompleteAt})
+				c.pc++
+				dispatched++
+				reason = StallFrozen
+				next = fz
+				break dispatch
+			}
+			// Offloaded atomic: non-blocking, pipelined.
+			if len(c.atomq) >= c.cfg.AtomicQueue {
+				reason = StallMSHR
+				next = minTime(c.atomq)
+				break dispatch
+			}
+			res := c.mem.Atomic(c.id, in, c.issueTime(in, now))
+			doneAt := res.AcceptedAt
+			if in.RetUsed() {
+				doneAt = res.CompleteAt
+			}
+			eff := res.CompleteAt
+			if in.CASFailed() {
+				// The mispredicted retry path costs a flush worth of
+				// work once the response arrives.
+				eff += c.cfg.CASFailFlush
+				doneAt += c.cfg.CASFailFlush
+				c.stats.Add("cpu.badspec_cycles", c.cfg.CASFailFlush)
+			}
+			if res.OffChip {
+				c.atomq = append(c.atomq, res.CompleteAt)
+			}
+			if eff > c.lastMemDone {
+				c.lastMemDone = eff
+			}
+			if in.RetUsed() && eff > c.lastLoadDone {
+				c.lastLoadDone = eff
+			}
+			if res.ChainPenalty > 0 {
+				c.lastLoadDone = maxu(c.lastLoadDone, now) + res.ChainPenalty
+			}
+			c.rob = append(c.rob, robEntry{doneAt: doneAt})
+			c.pc++
+			dispatched++
+
+		case trace.KindBarrier:
+			// A barrier drains the core before parking it.
+			if len(c.rob) > 0 || len(c.wb) > 0 {
+				reason = StallDrainOut
+				next = c.drainNext(now)
+				break dispatch
+			}
+			c.pc++
+			c.waitingBarrier = true
+			reason = StallBarrier
+			next = ^uint64(0)
+			break dispatch
+		}
+	}
+
+	if dispatched > 0 {
+		c.stats.Add("cpu.dispatched", uint64(dispatched))
+		reason = StallNone
+		next = now + 1
+	}
+	c.lastReason = reason
+	return next
+}
+
+// drainNext returns the earliest future time any in-flight work completes.
+func (c *Core) drainNext(now uint64) uint64 {
+	next := ^uint64(0)
+	if len(c.rob) > 0 && c.rob[0].doneAt < next {
+		next = c.rob[0].doneAt
+	}
+	if len(c.wb) > 0 {
+		if t := minTime(c.wb); t < next {
+			next = t
+		}
+	}
+	if next != ^uint64(0) && next <= now {
+		next = now + 1
+	}
+	return next
+}
+
+// peek returns the next instruction without consuming it. Compute batches
+// in progress report the current batch record.
+func (c *Core) peek() (trace.Instr, bool) {
+	if c.computeLeft > 0 {
+		return trace.Instr{Kind: trace.KindCompute, N: uint16(c.computeLeft)}, true
+	}
+	if c.pc >= len(c.stream) {
+		return trace.Instr{}, false
+	}
+	return c.stream[c.pc], true
+}
+
+// LastReason exposes the core's current stall classification (tests and
+// the machine's breakdown reporting).
+func (c *Core) LastReason() StallReason { return c.lastReason }

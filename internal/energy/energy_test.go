@@ -1,0 +1,80 @@
+package energy
+
+import (
+	"testing"
+
+	"graphpim/internal/machine"
+)
+
+func fakeResult(cycles uint64, stats map[string]uint64) machine.Result {
+	return machine.Result{Config: "test", Cycles: cycles, Instructions: 1000, Stats: stats}
+}
+
+func TestZeroActivityHasOnlyStaticEnergy(t *testing.T) {
+	p := DefaultParams()
+	b := Compute(p, fakeResult(2_000_000_000, map[string]uint64{}), 16)
+	// 1 second at 2GHz: static terms only.
+	if b.HMCFU != 0 {
+		t.Fatalf("FU energy %v with no ops", b.HMCFU)
+	}
+	wantLink := p.SerDesStaticW * 1e9
+	if b.HMCLink < wantLink*0.99 || b.HMCLink > wantLink*1.01 {
+		t.Fatalf("link static energy %v, want ~%v", b.HMCLink, wantLink)
+	}
+	if b.Caches <= 0 || b.HMCDRAM <= 0 || b.HMCLL <= 0 {
+		t.Fatal("static terms missing")
+	}
+}
+
+func TestDynamicTermsScaleWithCounters(t *testing.T) {
+	p := DefaultParams()
+	base := map[string]uint64{
+		"cache.l1.access": 1000, "cache.l2.access": 500, "cache.l3.access": 100,
+		"hmc.flits.req": 2000, "hmc.flits.rsp": 4000,
+		"hmc.reads": 500, "hmc.atomics": 100, "hmc.dram.activates": 600,
+	}
+	double := map[string]uint64{}
+	for k, v := range base {
+		double[k] = 2 * v
+	}
+	b1 := Compute(p, fakeResult(1000, base), 16)
+	b2 := Compute(p, fakeResult(1000, double), 16)
+	if b2.HMCLink <= b1.HMCLink || b2.HMCDRAM <= b1.HMCDRAM || b2.Caches <= b1.Caches {
+		t.Fatal("dynamic energy did not grow with activity")
+	}
+	// Same activity, double runtime: static grows, dynamic constant.
+	b3 := Compute(p, fakeResult(2000, base), 16)
+	if b3.Total() <= b1.Total() {
+		t.Fatal("longer runtime did not cost more energy")
+	}
+}
+
+func TestFPOpsCostMore(t *testing.T) {
+	p := DefaultParams()
+	intRun := map[string]uint64{"hmc.atomics": 1000}
+	fpRun := map[string]uint64{"hmc.atomics": 1000, "hmc.atomic.EXT_FPADD64": 1000}
+	bi := Compute(p, fakeResult(1000, intRun), 16)
+	bf := Compute(p, fakeResult(1000, fpRun), 16)
+	if bf.HMCFU <= bi.HMCFU {
+		t.Fatalf("FP FU energy %v not above int %v", bf.HMCFU, bi.HMCFU)
+	}
+}
+
+func TestTotalIsSum(t *testing.T) {
+	b := Breakdown{Caches: 1, HMCLink: 2, HMCFU: 3, HMCLL: 4, HMCDRAM: 5}
+	if b.Total() != 15 {
+		t.Fatalf("Total = %v", b.Total())
+	}
+	if b.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestCacheMB(t *testing.T) {
+	cfg := machine.Baseline()
+	mb := CacheMB(cfg)
+	// Table IV: 16 cores x (32KB + 256KB) + 16MB = 20.5 MB.
+	if mb < 20 || mb > 21 {
+		t.Fatalf("CacheMB = %v, want ~20.5", mb)
+	}
+}

@@ -1,0 +1,39 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList hardens the text parser: any input must produce either
+// an error or a graph passing Validate.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("0 1\n1 2 5\n")
+	f.Add("# vertices: 8\n0 7\n")
+	f.Add("")
+	f.Add("x y\n")
+	f.Add("0 1 2 3 4\n")
+	f.Add("4294967295 0\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := ReadEdgeList(strings.NewReader(in), false)
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("parsed graph invalid: %v", err)
+		}
+		// Serializing and reparsing must preserve counts.
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		again, err := ReadEdgeList(&buf, false)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if again.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip edges %d != %d", again.NumEdges(), g.NumEdges())
+		}
+	})
+}

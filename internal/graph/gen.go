@@ -1,0 +1,190 @@
+package graph
+
+import (
+	"fmt"
+
+	"graphpim/internal/sim"
+)
+
+// The generators below stand in for the paper's input datasets. Each is
+// deterministic for a given seed so that traces — and therefore simulation
+// results — are exactly reproducible.
+
+// LDBC generates a scale-free social-network-like graph in the spirit of
+// the LDBC SNB data generator used by the paper (Table VI). It follows the
+// RMAT recursive-quadrant construction with parameters that produce the
+// skewed degree distribution and community structure of social graphs,
+// with an average out-degree of ~29 matching Table VI's vertex/edge
+// ratios (1M vertices / 28.8M edges).
+func LDBC(vertices int, seed uint64) *Graph {
+	return RMAT(vertices, 29, 0.45, 0.22, 0.22, seed)
+}
+
+// RMAT generates an R-MAT graph over the next power of two of vertices,
+// then folds labels back into range. a, b, c are the quadrant
+// probabilities (d = 1-a-b-c). edgeFactor is edges per vertex.
+func RMAT(vertices, edgeFactor int, a, b, c float64, seed uint64) *Graph {
+	if vertices <= 1 {
+		panic(fmt.Sprintf("graph: RMAT needs at least 2 vertices, got %d", vertices))
+	}
+	if a <= 0 || b < 0 || c < 0 || a+b+c >= 1 {
+		panic("graph: invalid RMAT quadrant probabilities")
+	}
+	levels := 0
+	for 1<<uint(levels) < vertices {
+		levels++
+	}
+	r := sim.NewRand(seed)
+	bld := NewBuilder(vertices)
+	numEdges := vertices * edgeFactor
+	for i := 0; i < numEdges; i++ {
+		src, dst := 0, 0
+		for l := 0; l < levels; l++ {
+			p := r.Float64()
+			// Add per-level noise so the graph is not perfectly
+			// self-similar (as real generators do).
+			switch {
+			case p < a:
+				// top-left: nothing to add
+			case p < a+b:
+				dst |= 1 << uint(l)
+			case p < a+b+c:
+				src |= 1 << uint(l)
+			default:
+				src |= 1 << uint(l)
+				dst |= 1 << uint(l)
+			}
+		}
+		src %= vertices
+		dst %= vertices
+		if src == dst {
+			dst = (dst + 1) % vertices
+		}
+		w := uint32(r.Intn(63) + 1)
+		bld.AddWeightedEdge(VID(src), VID(dst), w)
+	}
+	return bld.Build(true)
+}
+
+// ErdosRenyi generates a uniform random graph with the given average
+// out-degree.
+func ErdosRenyi(vertices, avgDegree int, seed uint64) *Graph {
+	if vertices <= 1 {
+		panic("graph: ErdosRenyi needs at least 2 vertices")
+	}
+	r := sim.NewRand(seed)
+	bld := NewBuilder(vertices)
+	for i := 0; i < vertices*avgDegree; i++ {
+		src := r.Intn(vertices)
+		dst := r.Intn(vertices)
+		if src == dst {
+			dst = (dst + 1) % vertices
+		}
+		bld.AddWeightedEdge(VID(src), VID(dst), uint32(r.Intn(63)+1))
+	}
+	return bld.Build(true)
+}
+
+// BitcoinLike generates a transaction graph shaped like the Bitcoin graph
+// of the fraud-detection application (Section IV-B5): vertices are
+// accounts, edges are transactions; a small set of exchange-like hubs
+// participates in a large share of transactions, the rest follow
+// preferential attachment, and fraud-ring-like short cycles are planted.
+func BitcoinLike(vertices int, seed uint64) *Graph {
+	if vertices < 16 {
+		panic("graph: BitcoinLike needs at least 16 vertices")
+	}
+	r := sim.NewRand(seed)
+	bld := NewBuilder(vertices)
+	// The real graph has ~2.5 edges per vertex (181.8M/71.7M).
+	numEdges := vertices * 5 / 2
+	hubs := vertices / 100
+	if hubs < 4 {
+		hubs = 4
+	}
+	// Repeated-endpoint array for preferential attachment.
+	endpoints := make([]VID, 0, numEdges*2)
+	for v := 0; v < hubs; v++ {
+		// Seed exchanges heavily so they stay hubs as the endpoint pool
+		// grows (the real graph's exchanges touch a large share of all
+		// transactions).
+		for k := 0; k < 24; k++ {
+			endpoints = append(endpoints, VID(v))
+		}
+	}
+	for i := 0; i < numEdges; i++ {
+		var src, dst VID
+		if r.Intn(4) == 0 && len(endpoints) > 0 {
+			src = endpoints[r.Intn(len(endpoints))]
+		} else {
+			src = VID(r.Intn(vertices))
+		}
+		if r.Intn(3) == 0 && len(endpoints) > 0 {
+			dst = endpoints[r.Intn(len(endpoints))]
+		} else {
+			dst = VID(r.Intn(vertices))
+		}
+		if src == dst {
+			dst = VID((int(dst) + 1) % vertices)
+		}
+		bld.AddWeightedEdge(src, dst, uint32(r.Intn(1000)+1))
+		endpoints = append(endpoints, src, dst)
+	}
+	// Fraud rings: short cycles of 3..6 accounts moving funds around.
+	rings := vertices / 200
+	for i := 0; i < rings; i++ {
+		size := 3 + r.Intn(4)
+		members := make([]VID, size)
+		for j := range members {
+			members[j] = VID(r.Intn(vertices))
+		}
+		for j := range members {
+			bld.AddWeightedEdge(members[j], members[(j+1)%size], uint32(r.Intn(100)+900))
+		}
+	}
+	return bld.Build(false)
+}
+
+// TwitterLike generates a follower graph shaped like the Twitter dataset
+// of the recommender-system application: a heavy-tailed in-degree
+// distribution via preferential attachment (celebrities accumulate
+// followers) over ~7.7 edges per vertex (85M/11M).
+func TwitterLike(vertices int, seed uint64) *Graph {
+	if vertices < 16 {
+		panic("graph: TwitterLike needs at least 16 vertices")
+	}
+	r := sim.NewRand(seed)
+	bld := NewBuilder(vertices)
+	numEdges := vertices * 77 / 10
+	targets := make([]VID, 0, numEdges)
+	for v := 0; v < 8; v++ {
+		targets = append(targets, VID(v))
+	}
+	for i := 0; i < numEdges; i++ {
+		src := VID(r.Intn(vertices))
+		var dst VID
+		if r.Intn(2) == 0 {
+			dst = targets[r.Intn(len(targets))]
+		} else {
+			dst = VID(r.Intn(vertices))
+		}
+		if src == dst {
+			dst = VID((int(dst) + 1) % vertices)
+		}
+		bld.AddEdge(src, dst)
+		targets = append(targets, dst)
+	}
+	return bld.Build(true)
+}
+
+// LDBCSizes mirrors Table VI: the four dataset sizes the sensitivity
+// study sweeps. Footprints scale with vertex count at ~29 edges/vertex.
+var LDBCSizes = []struct {
+	Name     string
+	Vertices int
+}{
+	{"LDBC-1k", 1_000},
+	{"LDBC-10k", 10_000},
+	{"LDBC-100k", 100_000},
+	{"LDBC-1M", 1_000_000},
+}

@@ -1,0 +1,204 @@
+// Package graph provides the property-graph substrate the workloads run
+// on: a compressed sparse row (CSR) representation with both out- and
+// in-edge adjacency, plus deterministic synthetic generators standing in
+// for the paper's datasets (LDBC social-network graphs, and the Bitcoin
+// and Twitter graphs of the real-world applications).
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// VID is a vertex identifier.
+type VID uint32
+
+// Edge is one directed edge with an integer weight (used by SSSP; weight 1
+// for unweighted algorithms).
+type Edge struct {
+	Src, Dst VID
+	Weight   uint32
+}
+
+// Graph is an immutable directed graph in CSR form. In-edges are
+// materialized lazily by Build since several workloads (PageRank,
+// Betweenness Centrality) pull along reverse edges.
+type Graph struct {
+	numVertices int
+
+	// Out-CSR.
+	outPtr []uint64
+	outDst []VID
+	outW   []uint32
+
+	// In-CSR.
+	inPtr []uint64
+	inSrc []VID
+}
+
+// NumVertices returns the vertex count.
+func (g *Graph) NumVertices() int { return g.numVertices }
+
+// NumEdges returns the directed edge count.
+func (g *Graph) NumEdges() int { return len(g.outDst) }
+
+// OutDegree returns the out-degree of v.
+func (g *Graph) OutDegree(v VID) int {
+	return int(g.outPtr[v+1] - g.outPtr[v])
+}
+
+// InDegree returns the in-degree of v.
+func (g *Graph) InDegree(v VID) int {
+	return int(g.inPtr[v+1] - g.inPtr[v])
+}
+
+// OutNeighbors returns the destinations of v's out-edges. The slice
+// aliases internal storage and must not be modified.
+func (g *Graph) OutNeighbors(v VID) []VID {
+	return g.outDst[g.outPtr[v]:g.outPtr[v+1]]
+}
+
+// OutWeights returns the weights of v's out-edges, parallel to
+// OutNeighbors.
+func (g *Graph) OutWeights(v VID) []uint32 {
+	return g.outW[g.outPtr[v]:g.outPtr[v+1]]
+}
+
+// InNeighbors returns the sources of v's in-edges. The slice aliases
+// internal storage and must not be modified.
+func (g *Graph) InNeighbors(v VID) []VID {
+	return g.inSrc[g.inPtr[v]:g.inPtr[v+1]]
+}
+
+// OutEdgeIndex returns the global CSR index of v's first out-edge; the
+// framework uses it to derive simulated addresses for structure accesses.
+func (g *Graph) OutEdgeIndex(v VID) uint64 { return g.outPtr[v] }
+
+// Builder accumulates edges for a Graph.
+type Builder struct {
+	numVertices int
+	edges       []Edge
+}
+
+// NewBuilder returns a Builder for a graph with n vertices.
+func NewBuilder(n int) *Builder {
+	if n <= 0 {
+		panic(fmt.Sprintf("graph: invalid vertex count %d", n))
+	}
+	return &Builder{numVertices: n}
+}
+
+// AddEdge appends a directed edge with weight 1.
+func (b *Builder) AddEdge(src, dst VID) { b.AddWeightedEdge(src, dst, 1) }
+
+// AddWeightedEdge appends a directed edge.
+func (b *Builder) AddWeightedEdge(src, dst VID, w uint32) {
+	if int(src) >= b.numVertices || int(dst) >= b.numVertices {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", src, dst, b.numVertices))
+	}
+	b.edges = append(b.edges, Edge{Src: src, Dst: dst, Weight: w})
+}
+
+// NumEdges returns the number of edges added so far.
+func (b *Builder) NumEdges() int { return len(b.edges) }
+
+// Build finalizes the CSR structures. Self-loops are kept; duplicate
+// edges are dropped when dedup is true.
+func (b *Builder) Build(dedup bool) *Graph {
+	edges := b.edges
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].Src != edges[j].Src {
+			return edges[i].Src < edges[j].Src
+		}
+		return edges[i].Dst < edges[j].Dst
+	})
+	if dedup {
+		out := edges[:0]
+		for i, e := range edges {
+			if i > 0 && e.Src == out[len(out)-1].Src && e.Dst == out[len(out)-1].Dst {
+				continue
+			}
+			out = append(out, e)
+		}
+		edges = out
+	}
+
+	g := &Graph{numVertices: b.numVertices}
+	n := b.numVertices
+	g.outPtr = make([]uint64, n+1)
+	g.outDst = make([]VID, len(edges))
+	g.outW = make([]uint32, len(edges))
+	for _, e := range edges {
+		g.outPtr[e.Src+1]++
+	}
+	for v := 1; v <= n; v++ {
+		g.outPtr[v] += g.outPtr[v-1]
+	}
+	fill := make([]uint64, n)
+	for _, e := range edges {
+		idx := g.outPtr[e.Src] + fill[e.Src]
+		g.outDst[idx] = e.Dst
+		g.outW[idx] = e.Weight
+		fill[e.Src]++
+	}
+
+	// In-CSR.
+	g.inPtr = make([]uint64, n+1)
+	g.inSrc = make([]VID, len(edges))
+	for _, e := range edges {
+		g.inPtr[e.Dst+1]++
+	}
+	for v := 1; v <= n; v++ {
+		g.inPtr[v] += g.inPtr[v-1]
+	}
+	for v := range fill {
+		fill[v] = 0
+	}
+	for _, e := range edges {
+		idx := g.inPtr[e.Dst] + fill[e.Dst]
+		g.inSrc[idx] = e.Src
+		fill[e.Dst]++
+	}
+	return g
+}
+
+// Validate checks CSR well-formedness; tests and generators call it.
+func (g *Graph) Validate() error {
+	n := g.numVertices
+	if len(g.outPtr) != n+1 || len(g.inPtr) != n+1 {
+		return fmt.Errorf("graph: pointer array length mismatch")
+	}
+	if g.outPtr[0] != 0 || g.inPtr[0] != 0 {
+		return fmt.Errorf("graph: pointer arrays must start at 0")
+	}
+	if g.outPtr[n] != uint64(len(g.outDst)) || g.inPtr[n] != uint64(len(g.inSrc)) {
+		return fmt.Errorf("graph: pointer arrays must end at edge count")
+	}
+	for v := 0; v < n; v++ {
+		if g.outPtr[v] > g.outPtr[v+1] || g.inPtr[v] > g.inPtr[v+1] {
+			return fmt.Errorf("graph: non-monotonic pointer at vertex %d", v)
+		}
+	}
+	for _, d := range g.outDst {
+		if int(d) >= n {
+			return fmt.Errorf("graph: out-edge destination %d out of range", d)
+		}
+	}
+	for _, s := range g.inSrc {
+		if int(s) >= n {
+			return fmt.Errorf("graph: in-edge source %d out of range", s)
+		}
+	}
+	// Edge counts must agree between the two CSRs.
+	if len(g.outDst) != len(g.inSrc) {
+		return fmt.Errorf("graph: out/in edge count mismatch %d != %d", len(g.outDst), len(g.inSrc))
+	}
+	return nil
+}
+
+// StructureBytes estimates the memory footprint of the CSR structure,
+// used for Table VI reporting.
+func (g *Graph) StructureBytes() uint64 {
+	return uint64(len(g.outPtr))*8 + uint64(len(g.outDst))*4 + uint64(len(g.outW))*4 +
+		uint64(len(g.inPtr))*8 + uint64(len(g.inSrc))*4
+}

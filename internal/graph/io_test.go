@@ -1,0 +1,119 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := LDBC(512, 5)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEdgeList(&buf, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumVertices() != g.NumVertices() || got.NumEdges() != g.NumEdges() {
+		t.Fatalf("V/E %d/%d != %d/%d", got.NumVertices(), got.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		a, b := g.OutNeighbors(VID(v)), got.OutNeighbors(VID(v))
+		if len(a) != len(b) {
+			t.Fatalf("vertex %d degree %d != %d", v, len(b), len(a))
+		}
+		wa, wb := g.OutWeights(VID(v)), got.OutWeights(VID(v))
+		for i := range a {
+			if a[i] != b[i] || wa[i] != wb[i] {
+				t.Fatalf("vertex %d edge %d differs", v, i)
+			}
+		}
+	}
+}
+
+func TestEdgeListRoundTripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := ErdosRenyi(16+int(seed%100), 3, seed)
+		var buf bytes.Buffer
+		if WriteEdgeList(&buf, g) != nil {
+			return false
+		}
+		got, err := ReadEdgeList(&buf, false)
+		if err != nil {
+			return false
+		}
+		return got.NumVertices() == g.NumVertices() &&
+			got.NumEdges() == g.NumEdges() &&
+			got.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadEdgeListFormats(t *testing.T) {
+	in := `# a comment
+% another comment style
+0 1
+1 2 7
+
+2 0 3
+`
+	g, err := ReadEdgeList(strings.NewReader(in), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("V=%d E=%d", g.NumVertices(), g.NumEdges())
+	}
+	if w := g.OutWeights(1); len(w) != 1 || w[0] != 7 {
+		t.Fatalf("weights = %v", w)
+	}
+	// Default weight is 1.
+	if w := g.OutWeights(0); w[0] != 1 {
+		t.Fatalf("default weight = %d", w[0])
+	}
+}
+
+func TestReadEdgeListVertexHeader(t *testing.T) {
+	in := "# vertices: 10\n0 1\n"
+	g, err := ReadEdgeList(strings.NewReader(in), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 10 {
+		t.Fatalf("declared vertex count ignored: %d", g.NumVertices())
+	}
+}
+
+func TestReadEdgeListDedup(t *testing.T) {
+	in := "0 1\n0 1\n1 0\n"
+	g, err := ReadEdgeList(strings.NewReader(in), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("dedup kept %d edges", g.NumEdges())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	for name, in := range map[string]string{
+		"short line": "0\n",
+		"bad src":    "x 1\n",
+		"bad dst":    "0 y\n",
+		"bad weight": "0 1 z\n",
+	} {
+		if _, err := ReadEdgeList(strings.NewReader(in), false); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// Empty input yields a minimal valid graph rather than an error.
+	g, err := ReadEdgeList(strings.NewReader(""), false)
+	if err != nil || g.NumVertices() < 2 {
+		t.Fatalf("empty input: %v %v", g, err)
+	}
+}

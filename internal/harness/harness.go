@@ -1,0 +1,333 @@
+// Package harness reproduces every table and figure of the paper's
+// evaluation. Each experiment is a named runner producing a text Table
+// with the same rows/series the paper reports; the per-experiment index
+// lives in DESIGN.md and the recorded outputs in EXPERIMENTS.md.
+//
+// Experiments run against an Env that fixes the dataset scale and the
+// simulated cache capacities. The paper simulates LDBC-1M (~900MB) against
+// a 16MB L3; tracing a 29M-edge graph is outside a unit-test budget, so
+// the default Env scales both sides of that ratio down together: a
+// 16K-vertex LDBC graph against a 512KB L3 preserves the relationships
+// that drive the results (property and structure footprints far exceeding
+// the LLC, candidate miss rates above 50%). Absolute cycle counts differ
+// from the paper; the shapes are the reproduction target.
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"graphpim/internal/gframe"
+	"graphpim/internal/graph"
+	"graphpim/internal/machine"
+	"graphpim/internal/trace"
+	"graphpim/internal/workloads"
+)
+
+// ConfigKind names the three evaluated system configurations.
+type ConfigKind string
+
+// The evaluated configurations.
+const (
+	KindBaseline ConfigKind = "Baseline"
+	KindUPEI     ConfigKind = "U-PEI"
+	KindGraphPIM ConfigKind = "GraphPIM"
+)
+
+// Env fixes the experiment scale and caches simulation artifacts so that
+// experiments sharing runs (Figs. 7, 9, 10, 12, 15, 16) pay for them once.
+type Env struct {
+	// Vertices is the default LDBC graph size.
+	Vertices int
+	// Seed drives all generators.
+	Seed uint64
+	// Threads is the logical thread count (== cores used).
+	Threads int
+	// ScaledCaches shrinks L2/L3 to match the scaled dataset (see the
+	// package comment). When false, Table IV capacities are used.
+	ScaledCaches bool
+	// SweepSizes are the Fig. 14 graph sizes (scaled stand-ins for
+	// Table VI's 1K..1M family).
+	SweepSizes []int
+	// AppVertices is the graph size for the FD/RS applications.
+	AppVertices int
+
+	graphs map[int]*graph.Graph
+	traces map[traceKey]*tracedRun
+	runs   map[runKey]machine.Result
+}
+
+type traceKey struct {
+	workload string
+	vertices int
+}
+
+type runKey struct {
+	workload string
+	vertices int
+	kind     ConfigKind
+	extended bool
+	variant  string // "" normal; used by sweeps (FU count, link BW, strip)
+}
+
+// tracedRun is one workload's functional execution and trace.
+type tracedRun struct {
+	fw  *gframe.Framework
+	tr  *trace.Trace
+	res workloads.Result
+}
+
+// DefaultEnv returns the scale used for the recorded results in
+// EXPERIMENTS.md.
+func DefaultEnv() *Env {
+	return &Env{
+		Vertices:     16384,
+		Seed:         7,
+		Threads:      16,
+		ScaledCaches: true,
+		SweepSizes:   []int{1024, 4096, 16384},
+		AppVertices:  16384,
+	}
+}
+
+// QuickEnv returns a small scale for tests and benchmark iterations.
+func QuickEnv() *Env {
+	return &Env{
+		Vertices:     2048,
+		Seed:         7,
+		Threads:      16,
+		ScaledCaches: true,
+		SweepSizes:   []int{512, 2048},
+		AppVertices:  2048,
+	}
+}
+
+func (e *Env) init() {
+	if e.graphs == nil {
+		e.graphs = make(map[int]*graph.Graph)
+		e.traces = make(map[traceKey]*tracedRun)
+		e.runs = make(map[runKey]machine.Result)
+	}
+}
+
+// scaleCaches shrinks the cache hierarchy alongside the scaled dataset.
+// The scaled L3 keeps the paper's relationship LLC << property footprint
+// << structure footprint.
+func (e *Env) scaleCaches(cfg machine.Config) machine.Config {
+	if !e.ScaledCaches {
+		return cfg
+	}
+	cfg.Cache.L2Size = 128 << 10
+	cfg.Cache.L3Size = 512 << 10
+	if e.Vertices <= 4096 {
+		cfg.Cache.L3Size = 128 << 10
+	}
+	return cfg
+}
+
+// Config assembles one machine configuration for a workload, activating
+// the PMR only when the workload's atomics are offloadable (Table III).
+func (e *Env) Config(kind ConfigKind, w workloads.Workload) machine.Config {
+	info := w.Info()
+	extended := info.NeedsFPExtension
+	var cfg machine.Config
+	switch kind {
+	case KindBaseline:
+		cfg = machine.Baseline()
+	case KindUPEI:
+		cfg = machine.UPEI(extended)
+	case KindGraphPIM:
+		cfg = machine.GraphPIM(extended)
+	default:
+		panic(fmt.Sprintf("harness: unknown config kind %q", kind))
+	}
+	cfg.POU.PMRActive = cfg.POU.OffloadAtomics && info.ApplicableWith(extended)
+	return e.scaleCaches(cfg)
+}
+
+// Graph returns the cached LDBC graph of the given size.
+func (e *Env) Graph(vertices int) *graph.Graph {
+	e.init()
+	if g, ok := e.graphs[vertices]; ok {
+		return g
+	}
+	g := graph.LDBC(vertices, e.Seed)
+	e.graphs[vertices] = g
+	return g
+}
+
+// Trace returns the cached functional run + trace of w on the LDBC graph
+// of the given size.
+func (e *Env) Trace(w workloads.Workload, vertices int) *tracedRun {
+	e.init()
+	key := traceKey{w.Info().Name, vertices}
+	if tr, ok := e.traces[key]; ok {
+		return tr
+	}
+	fw := gframe.New(e.Graph(vertices), e.Threads, gframe.DefaultCostModel())
+	res := w.Run(fw)
+	tr := &tracedRun{fw: fw, tr: fw.Trace(), res: res}
+	e.traces[key] = tr
+	return tr
+}
+
+// Run simulates w under the given configuration, memoizing results.
+func (e *Env) Run(w workloads.Workload, kind ConfigKind) machine.Result {
+	return e.RunSized(w, e.Vertices, kind)
+}
+
+// RunSized is Run at an explicit graph size.
+func (e *Env) RunSized(w workloads.Workload, vertices int, kind ConfigKind) machine.Result {
+	e.init()
+	key := runKey{w.Info().Name, vertices, kind, w.Info().NeedsFPExtension, ""}
+	if r, ok := e.runs[key]; ok {
+		return r
+	}
+	tr := e.Trace(w, vertices)
+	r := machine.RunTrace(e.Config(kind, w), tr.fw.Space(), tr.tr)
+	e.runs[key] = r
+	return r
+}
+
+// RunVariant simulates with a caller-adjusted configuration, memoized
+// under the variant label.
+func (e *Env) RunVariant(w workloads.Workload, kind ConfigKind, variant string,
+	adjust func(*machine.Config)) machine.Result {
+	e.init()
+	key := runKey{w.Info().Name, e.Vertices, kind, w.Info().NeedsFPExtension, variant}
+	if r, ok := e.runs[key]; ok {
+		return r
+	}
+	cfg := e.Config(kind, w)
+	adjust(&cfg)
+	tr := e.Trace(w, e.Vertices)
+	r := machine.RunTrace(cfg, tr.fw.Space(), tr.tr)
+	e.runs[key] = r
+	return r
+}
+
+// Table is one experiment's output, rendered as aligned text.
+type Table struct {
+	ID      string
+	Title   string
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends one row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as RFC-4180-ish comma-separated values (cells
+// with commas or quotes are quoted), for downstream plotting.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeCSVRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, "\"", "\"\""))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeCSVRow(t.Headers)
+	for _, row := range t.Rows {
+		writeCSVRow(row)
+	}
+	return b.String()
+}
+
+// Experiment is one paper table/figure reproduction.
+type Experiment struct {
+	// ID is the harness identifier, e.g. "fig7-speedup".
+	ID string
+	// Paper names the corresponding table/figure.
+	Paper string
+	// Title describes the content.
+	Title string
+	// Run executes the experiment.
+	Run func(*Env) *Table
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		fig1IPC(), fig2Breakdown(), fig4AtomicOverhead(),
+		table1Atomics(), table2Targets(), table3Applicability(), table4Config(),
+		fig7Speedup(), fig9Breakdown(), fig10MissRate(), fig11FUSweep(),
+		table5Flits(), fig12Bandwidth(), fig13LinkBW(),
+		table6Datasets(), fig14SizeSweep(), fig15Energy(),
+		table7AppConfig(), table8AppCounters(), fig16ModelValidation(), fig17RealWorld(),
+	}
+}
+
+// ByID looks an experiment up among the paper reproductions and the
+// extras.
+func ByID(id string) (Experiment, error) {
+	for _, ex := range append(All(), Extras()...) {
+		if ex.ID == id {
+			return ex, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("harness: unknown experiment %q", id)
+}
+
+// helpers shared by experiments
+
+func pct(x float64) string        { return fmt.Sprintf("%.1f%%", x*100) }
+func f2(x float64) string         { return fmt.Sprintf("%.2f", x) }
+func f3(x float64) string         { return fmt.Sprintf("%.3f", x) }
+func speedupStr(x float64) string { return fmt.Sprintf("%.2fx", x) }
+
+// atomicCycles returns the Fig. 9 atomic overhead split of a result.
+func atomicCycles(r machine.Result) (inCore, inCache uint64) {
+	return r.Stats["cpu.atomic.incore_cycles"], r.Stats["cpu.atomic.incache_cycles"]
+}

@@ -1,0 +1,209 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"graphpim/internal/workloads"
+)
+
+func TestAllExperimentsRegistered(t *testing.T) {
+	exps := All()
+	if len(exps) != 21 {
+		t.Fatalf("registry has %d experiments, want 21 (every paper table and figure)", len(exps))
+	}
+	seen := map[string]bool{}
+	for _, ex := range exps {
+		if ex.ID == "" || ex.Paper == "" || ex.Title == "" || ex.Run == nil {
+			t.Fatalf("experiment %+v incomplete", ex.ID)
+		}
+		if seen[ex.ID] {
+			t.Fatalf("duplicate experiment id %s", ex.ID)
+		}
+		seen[ex.ID] = true
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, err := ByID("fig7-speedup"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Fatal("unknown experiment did not error")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{ID: "x", Title: "t", Headers: []string{"a", "bb"}}
+	tb.AddRow("1", "2")
+	tb.Notes = append(tb.Notes, "a note")
+	s := tb.String()
+	for _, want := range []string{"== x: t ==", "a", "bb", "note: a note"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// The static experiments (no simulation) must produce full tables.
+func TestStaticExperiments(t *testing.T) {
+	e := QuickEnv()
+	for _, id := range []string{"table1-hmc-atomics", "table2-offload-targets",
+		"table3-applicability", "table4-config", "table5-flits", "table6-datasets",
+		"table7-appconfig"} {
+		ex, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb := ex.Run(e)
+		if len(tb.Rows) == 0 {
+			t.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+func TestTable1HasAllCommands(t *testing.T) {
+	ex, _ := ByID("table1-hmc-atomics")
+	tb := ex.Run(QuickEnv())
+	if len(tb.Rows) != 20 {
+		t.Fatalf("Table I rows = %d, want 20 (18 HMC 2.0 + 2 extension)", len(tb.Rows))
+	}
+}
+
+func TestTable3CoversSuite(t *testing.T) {
+	ex, _ := ByID("table3-applicability")
+	tb := ex.Run(QuickEnv())
+	if len(tb.Rows) != len(workloads.All()) {
+		t.Fatalf("Table III rows = %d, want %d", len(tb.Rows), len(workloads.All()))
+	}
+}
+
+// Shared-run caching: two experiments touching the same runs must reuse
+// the memoized results.
+func TestRunMemoization(t *testing.T) {
+	e := QuickEnv()
+	w, _ := workloads.ByName("DC")
+	r1 := e.Run(w, KindBaseline)
+	r2 := e.Run(w, KindBaseline)
+	if r1.Cycles != r2.Cycles {
+		t.Fatal("memoized run differs")
+	}
+	if len(e.runs) != 1 {
+		t.Fatalf("run cache holds %d entries, want 1", len(e.runs))
+	}
+}
+
+// End-to-end check of the headline experiment at quick scale: orderings
+// the paper reports must hold.
+func TestFig7OrderingsAtQuickScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	e := QuickEnv()
+	type speeds struct{ upei, gpim float64 }
+	got := map[string]speeds{}
+	for _, name := range []string{"BFS", "DC", "kCore", "TC"} {
+		w, _ := workloads.ByName(name)
+		base := e.Run(w, KindBaseline)
+		got[name] = speeds{
+			upei: e.Run(w, KindUPEI).Speedup(base),
+			gpim: e.Run(w, KindGraphPIM).Speedup(base),
+		}
+	}
+	// Atomic-heavy workloads gain substantially.
+	for _, name := range []string{"BFS", "DC"} {
+		if got[name].gpim < 1.3 {
+			t.Errorf("%s GraphPIM speedup %.2f, want > 1.3", name, got[name].gpim)
+		}
+	}
+	// TC gains almost nothing.
+	if got["TC"].gpim > 1.15 || got["TC"].gpim < 0.9 {
+		t.Errorf("TC GraphPIM speedup %.2f, want ~1.0", got["TC"].gpim)
+	}
+	// kCore gains little.
+	if got["kCore"].gpim > 1.6 {
+		t.Errorf("kCore GraphPIM speedup %.2f, want small", got["kCore"].gpim)
+	}
+	// GraphPIM at or above U-PEI for the atomic-heavy ones.
+	for _, name := range []string{"BFS", "DC"} {
+		if got[name].gpim < got[name].upei*0.98 {
+			t.Errorf("%s: GraphPIM %.2f below U-PEI %.2f", name, got[name].gpim, got[name].upei)
+		}
+	}
+}
+
+func TestFig10MissRatesAtQuickScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	e := QuickEnv()
+	ex, _ := ByID("fig10-missrate")
+	tb := ex.Run(e)
+	if len(tb.Rows) != len(workloads.EvalSet()) {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// BFS candidates should be mostly misses even at quick scale.
+	for _, row := range tb.Rows {
+		if row[0] == "BFS" {
+			if !strings.HasSuffix(row[2], "%") {
+				t.Fatalf("malformed rate %q", row[2])
+			}
+		}
+	}
+}
+
+func TestFig16ModelWithinTolerance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	e := QuickEnv()
+	ex, _ := ByID("fig16-model-validation")
+	tb := ex.Run(e)
+	last := tb.Rows[len(tb.Rows)-1]
+	if last[0] != "mean error" {
+		t.Fatalf("last row %v", last)
+	}
+}
+
+func TestFig17RunsBothApps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	e := QuickEnv()
+	ex, _ := ByID("fig17-realworld")
+	tb := ex.Run(e)
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d, want FD and RS", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if !strings.HasSuffix(row[1], "x") {
+			t.Fatalf("malformed speedup %q", row[1])
+		}
+	}
+}
+
+func TestExtrasRegistered(t *testing.T) {
+	extras := Extras()
+	if len(extras) != 6 {
+		t.Fatalf("extras = %d, want 6", len(extras))
+	}
+	for _, ex := range extras {
+		if ex.ID == "" || ex.Run == nil {
+			t.Fatalf("extra %q incomplete", ex.ID)
+		}
+		if _, err := ByID(ex.ID); err != nil {
+			t.Fatalf("extra %q not resolvable via ByID", ex.ID)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := &Table{Headers: []string{"a", "b"}}
+	tb.AddRow("1", "x,y")
+	tb.AddRow("2", `has "quotes"`)
+	csv := tb.CSV()
+	want := "a,b\n1,\"x,y\"\n2,\"has \"\"quotes\"\"\"\n"
+	if csv != want {
+		t.Fatalf("CSV = %q, want %q", csv, want)
+	}
+}

@@ -1,0 +1,420 @@
+// Package hmc models a Hybrid Memory Cube following the HMC 2.0
+// parameters in Table IV of the GraphPIM paper: an 8GB cube with 32 vaults
+// of 16 DRAM banks each, tCL = tRCD = tRP = 13.75ns, tRAS = 27.5ns, and
+// four SerDes links of 120GB/s each carrying 128-bit FLITs.
+//
+// The model is a latency oracle with resource bookkeeping: each request
+// immediately computes its completion time from the current occupancy of
+// the request link, the target bank, the vault's PIM functional units, and
+// the response link, updating those occupancies as it goes. This captures
+// the contention effects the paper studies (FU count, link bandwidth, bank
+// conflicts) while staying fast and deterministic.
+package hmc
+
+import (
+	"fmt"
+
+	"graphpim/internal/hmcatomic"
+	"graphpim/internal/memmap"
+	"graphpim/internal/sim"
+)
+
+// Config describes one HMC cube.
+type Config struct {
+	// NumVaults is the vault count (32 for an 8GB cube).
+	NumVaults int
+	// BanksPerVault is the DRAM bank count per vault (16).
+	BanksPerVault int
+
+	// DRAM timing in nanoseconds.
+	TRCDNs, TCLNs, TRPNs, TRASNs float64
+
+	// NumLinks and LinkGBs describe the SerDes links (4 x 120GB/s).
+	NumLinks int
+	LinkGBs  float64
+	// LinkBWScale scales total link bandwidth for the Fig. 13 sweep
+	// (0.5 = half, 2 = double). Zero means 1.
+	LinkBWScale float64
+	// LinkLatency is the fixed one-way SerDes + traversal latency in
+	// core cycles.
+	LinkLatency uint64
+
+	// IntFUsPerVault is the number of integer PIM functional units per
+	// vault (Fig. 11 sweeps 1..16). FPFUsPerVault is the number of
+	// floating-point units (the paper settles on 1).
+	IntFUsPerVault int
+	FPFUsPerVault  int
+
+	// VaultInterleaveShift selects the address-to-vault interleaving
+	// granularity: consecutive (64 << shift)-byte blocks map to the
+	// same vault. Zero (the HMC default) interleaves single 64-byte
+	// blocks across vaults for maximal parallelism.
+	VaultInterleaveShift int
+
+	// OpenPage keeps DRAM rows open between accesses: a row-buffer hit
+	// pays only tCL, a conflict pays tRP+tRCD+tCL. The default (closed
+	// page) is what vault controllers use for irregular traffic.
+	OpenPage bool
+	// RowBytes is the DRAM row size per bank for the open-page policy.
+	RowBytes uint64
+
+	// Functional enables the functional data store so that PIM atomics
+	// actually read-modify-write values (used by tests and examples; the
+	// timing model does not need it).
+	Functional bool
+}
+
+// DefaultConfig returns the Table IV HMC configuration.
+func DefaultConfig() Config {
+	return Config{
+		NumVaults:      32,
+		BanksPerVault:  16,
+		TRCDNs:         13.75,
+		TCLNs:          13.75,
+		TRPNs:          13.75,
+		TRASNs:         27.5,
+		NumLinks:       4,
+		LinkGBs:        120,
+		LinkBWScale:    1,
+		LinkLatency:    10,
+		IntFUsPerVault: 16,
+		FPFUsPerVault:  1,
+	}
+}
+
+// Cube is one HMC device.
+type Cube struct {
+	cfg   Config
+	stats *sim.Stats
+
+	tRCD, tCL, tRP, tRAS, tRC uint64
+
+	// flitsPerCycle is the serialization rate of the aggregate link in
+	// FLITs per core cycle, each direction.
+	flitsPerCycle float64
+
+	reqLink *linkLane
+	rspLink *linkLane
+
+	bankFree [][]uint64 // [vault][bank] next free cycle
+	openRow  [][]uint64 // [vault][bank] open row id + 1 (0 = closed)
+	intFU    [][]uint64 // [vault][fu] next free cycle
+	fpFU     [][]uint64
+
+	mem map[memmap.Addr]hmcatomic.Value // functional store (optional)
+}
+
+// New builds a Cube.
+func New(cfg Config, stats *sim.Stats) *Cube {
+	if cfg.NumVaults <= 0 || cfg.BanksPerVault <= 0 {
+		panic("hmc: non-positive vault/bank count")
+	}
+	if cfg.NumVaults&(cfg.NumVaults-1) != 0 || cfg.BanksPerVault&(cfg.BanksPerVault-1) != 0 {
+		panic("hmc: vault and bank counts must be powers of two")
+	}
+	if cfg.LinkBWScale == 0 {
+		cfg.LinkBWScale = 1
+	}
+	if cfg.IntFUsPerVault <= 0 {
+		panic("hmc: need at least one integer FU per vault")
+	}
+	c := &Cube{
+		cfg:   cfg,
+		stats: stats,
+		tRCD:  sim.NsToCycles(cfg.TRCDNs),
+		tCL:   sim.NsToCycles(cfg.TCLNs),
+		tRP:   sim.NsToCycles(cfg.TRPNs),
+		tRAS:  sim.NsToCycles(cfg.TRASNs),
+	}
+	c.tRC = c.tRAS + c.tRP
+	// Bytes per second across all links, one direction.
+	bytesPerSec := cfg.LinkGBs * 1e9 * float64(cfg.NumLinks) * cfg.LinkBWScale
+	bytesPerCycle := bytesPerSec / (sim.CoreClockGHz * 1e9)
+	c.flitsPerCycle = bytesPerCycle / hmcatomic.FlitBytes
+	c.reqLink = newLinkLane(c.flitsPerCycle)
+	c.rspLink = newLinkLane(c.flitsPerCycle)
+
+	if c.cfg.RowBytes == 0 {
+		c.cfg.RowBytes = 4096
+	}
+	c.bankFree = make([][]uint64, cfg.NumVaults)
+	c.openRow = make([][]uint64, cfg.NumVaults)
+	c.intFU = make([][]uint64, cfg.NumVaults)
+	c.fpFU = make([][]uint64, cfg.NumVaults)
+	for v := range c.bankFree {
+		c.bankFree[v] = make([]uint64, cfg.BanksPerVault)
+		c.openRow[v] = make([]uint64, cfg.BanksPerVault)
+		c.intFU[v] = make([]uint64, cfg.IntFUsPerVault)
+		if cfg.FPFUsPerVault > 0 {
+			c.fpFU[v] = make([]uint64, cfg.FPFUsPerVault)
+		}
+	}
+	if cfg.Functional {
+		c.mem = make(map[memmap.Addr]hmcatomic.Value)
+	}
+	return c
+}
+
+// Config returns the cube configuration.
+func (c *Cube) Config() Config { return c.cfg }
+
+// VaultBank maps an address to its vault and bank. By default HMC
+// interleaves consecutive 64-byte blocks across vaults, then banks,
+// maximizing parallelism for streaming accesses; VaultInterleaveShift
+// coarsens the granularity.
+func (c *Cube) VaultBank(addr memmap.Addr) (vault, bank int) {
+	block := uint64(addr) >> uint(6+c.cfg.VaultInterleaveShift)
+	vault = int(block & uint64(c.cfg.NumVaults-1))
+	bank = int((block >> uint(log2(c.cfg.NumVaults))) & uint64(c.cfg.BanksPerVault-1))
+	return
+}
+
+func log2(n int) int {
+	k := 0
+	for 1<<uint(k) < n {
+		k++
+	}
+	return k
+}
+
+// linkLane models one direction of the aggregate SerDes link as a set of
+// fixed-width time epochs with a FLIT budget each. A packet reserves
+// budget starting at the epoch containing its ready time, spilling into
+// later epochs when the link is saturated. Unlike a single next-free
+// pointer, this admits out-of-order ready times without head-of-line
+// blocking (a packet scheduled far in the future does not delay packets
+// that are ready now), while still enforcing the aggregate bandwidth.
+type linkLane struct {
+	epochCycles  uint64
+	epochBudget  float64 // FLITs per epoch
+	epochs       []float64
+	epochIdx     []uint64 // absolute epoch index occupying each slot
+	perFlitDelay float64  // serialization cycles per FLIT
+}
+
+const linkEpochCycles = 32
+
+func newLinkLane(flitsPerCycle float64) *linkLane {
+	const slots = 1 << 14
+	return &linkLane{
+		epochCycles:  linkEpochCycles,
+		epochBudget:  flitsPerCycle * linkEpochCycles,
+		epochs:       make([]float64, slots),
+		epochIdx:     make([]uint64, slots),
+		perFlitDelay: 1 / flitsPerCycle,
+	}
+}
+
+// reserve books flits FLITs no earlier than ready and returns the cycle at
+// which the packet has fully crossed the link (excluding fixed latency).
+func (l *linkLane) reserve(ready uint64, flits int) uint64 {
+	e := ready / l.epochCycles
+	need := float64(flits)
+	for {
+		slot := e % uint64(len(l.epochs))
+		if l.epochIdx[slot] != e {
+			// Lazily reset a recycled slot.
+			l.epochIdx[slot] = e
+			l.epochs[slot] = 0
+		}
+		if l.epochs[slot]+need <= l.epochBudget {
+			l.epochs[slot] += need
+			start := ready
+			if es := e * l.epochCycles; es > start {
+				start = es
+			}
+			ser := uint64(float64(flits)*l.perFlitDelay) + 1
+			return start + ser
+		}
+		e++
+	}
+}
+
+// sendRequest occupies the request link for flits FLITs starting no
+// earlier than now and returns the cycle the packet arrives at the vault.
+func (c *Cube) sendRequest(now uint64, flits int) uint64 {
+	c.stats.Add("hmc.flits.req", uint64(flits))
+	return c.reqLink.reserve(now, flits) + c.cfg.LinkLatency
+}
+
+// sendResponse occupies the response link starting no earlier than ready
+// and returns the cycle the packet reaches the host.
+func (c *Cube) sendResponse(ready uint64, flits int) uint64 {
+	c.stats.Add("hmc.flits.rsp", uint64(flits))
+	return c.rspLink.reserve(ready, flits) + c.cfg.LinkLatency
+}
+
+func maxu(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// bankAccess reserves the target bank starting no earlier than arrive,
+// holding it for the RMW extension extra (0 for plain reads/writes).
+// It returns the cycle at which data is available and increments the
+// activate counter for energy accounting.
+//
+// Closed-page (the default): every access activates and precharges, so
+// the bank is busy for tRC. Open-page: a row-buffer hit pays only tCL
+// and keeps the bank busy briefly; a row conflict pays precharge +
+// activate + column access.
+func (c *Cube) bankAccess(addr memmap.Addr, arrive, extra uint64) (dataReady uint64) {
+	v, b := c.VaultBank(addr)
+	start := maxu(arrive, c.bankFree[v][b])
+	if !c.cfg.OpenPage {
+		dataReady = start + c.tRCD + c.tCL
+		c.bankFree[v][b] = start + c.tRC + extra
+		c.stats.Inc("hmc.dram.activates")
+		return dataReady
+	}
+	row := uint64(addr)/c.cfg.RowBytes + 1
+	switch c.openRow[v][b] {
+	case row: // row-buffer hit
+		c.stats.Inc("hmc.dram.row_hits")
+		dataReady = start + c.tCL
+		c.bankFree[v][b] = dataReady + extra
+	case 0: // bank idle, row closed
+		c.stats.Inc("hmc.dram.activates")
+		dataReady = start + c.tRCD + c.tCL
+		c.bankFree[v][b] = dataReady + extra
+	default: // row conflict: precharge, then activate
+		c.stats.Inc("hmc.dram.activates")
+		c.stats.Inc("hmc.dram.row_conflicts")
+		dataReady = start + c.tRP + c.tRCD + c.tCL
+		c.bankFree[v][b] = dataReady + extra
+	}
+	c.openRow[v][b] = row
+	return dataReady
+}
+
+// ReadLine implements cache.Backend: a 64-byte line fill on the critical
+// path. Returns latency relative to now.
+func (c *Cube) ReadLine(lineAddr memmap.Addr, now uint64) uint64 {
+	c.stats.Inc("hmc.reads")
+	cost := hmcatomic.Read64Cost()
+	arrive := c.sendRequest(now, cost.Request)
+	ready := c.bankAccess(lineAddr, arrive, 0)
+	done := c.sendResponse(ready, cost.Response)
+	return done - now
+}
+
+// WriteLine implements cache.Backend: a posted 64-byte writeback. The
+// latency is off the critical path but the traffic and bank occupancy are
+// modeled.
+func (c *Cube) WriteLine(lineAddr memmap.Addr, now uint64) {
+	c.stats.Inc("hmc.writes")
+	cost := hmcatomic.Write64Cost()
+	arrive := c.sendRequest(now, cost.Request)
+	c.bankAccess(lineAddr, arrive, 0)
+	c.sendResponse(arrive, cost.Response) // write acknowledgment
+}
+
+// UCRead is an uncacheable sub-line read (at most 16 bytes), used for
+// non-atomic accesses to the PIM memory region. Returns latency.
+func (c *Cube) UCRead(addr memmap.Addr, now uint64) uint64 {
+	c.stats.Inc("hmc.uc.reads")
+	cost := hmcatomic.UCReadCost()
+	arrive := c.sendRequest(now, cost.Request)
+	ready := c.bankAccess(addr, arrive, 0)
+	done := c.sendResponse(ready, cost.Response)
+	return done - now
+}
+
+// UCWrite is a posted uncacheable sub-line write. Returns the cycle at
+// which the write is acknowledged (needed only for write-buffer drains).
+func (c *Cube) UCWrite(addr memmap.Addr, now uint64) uint64 {
+	c.stats.Inc("hmc.uc.writes")
+	cost := hmcatomic.UCWriteCost()
+	arrive := c.sendRequest(now, cost.Request)
+	ready := c.bankAccess(addr, arrive, 0)
+	done := c.sendResponse(ready, cost.Response)
+	return done
+}
+
+// AtomicTiming reports when a PIM atomic's request was accepted by the
+// host-side link (the core may retire a non-returning atomic then) and
+// when its response arrives back at the host (a returning atomic's
+// dependents wait for this).
+type AtomicTiming struct {
+	Accepted   uint64
+	ResponseAt uint64
+	// Flag is the atomic flag from functional execution; meaningful only
+	// when the cube was built with Functional=true.
+	Flag bool
+}
+
+// Atomic executes op at addr as a PIM operation in the vault logic die.
+// imm is used only in functional mode.
+func (c *Cube) Atomic(op hmcatomic.Op, addr memmap.Addr, imm hmcatomic.Value, now uint64) AtomicTiming {
+	c.stats.Inc("hmc.atomics")
+	c.stats.Inc("hmc.atomic." + op.String())
+	cost := hmcatomic.AtomicCost(op)
+
+	arrive := c.sendRequest(now, cost.Request)
+	fuLat := hmcatomic.FULatencyCycles(op)
+
+	// The bank is locked for the whole RMW: activate, read, FU op,
+	// write back, precharge.
+	v, _ := c.VaultBank(addr)
+	dataReady := c.bankAccess(addr, arrive, fuLat)
+
+	// Claim a functional unit; the op starts when both the data and an
+	// FU are available.
+	pool := c.intFU[v]
+	busyCounter := "hmc.fu.busy_cycles"
+	if hmcatomic.IsFloat(op) {
+		if len(c.fpFU[v]) == 0 {
+			// No FP unit: the machine layer should not have offloaded
+			// this; treat as a modeling error.
+			panic(fmt.Sprintf("hmc: FP atomic %v offloaded but vault has no FP FU", op))
+		}
+		pool = c.fpFU[v]
+		busyCounter = "hmc.fpfu.busy_cycles"
+	}
+	fuIdx := 0
+	for i := range pool {
+		if pool[i] < pool[fuIdx] {
+			fuIdx = i
+		}
+	}
+	opStart := maxu(dataReady, pool[fuIdx])
+	opDone := opStart + fuLat
+	pool[fuIdx] = opDone
+	c.stats.Add(busyCounter, fuLat)
+	if wait := opStart - dataReady; wait > 0 {
+		c.stats.Add("hmc.fu.queue_cycles", wait)
+	}
+
+	t := AtomicTiming{Accepted: maxu(now+2, arrive-c.cfg.LinkLatency)}
+	t.ResponseAt = c.sendResponse(opDone, cost.Response)
+
+	if c.mem != nil {
+		r := hmcatomic.Apply(op, c.mem[addr], imm)
+		if r.Wrote {
+			c.mem[addr] = r.New
+			c.stats.Inc("hmc.dram.atomic_writes")
+		}
+		t.Flag = r.Flag
+	}
+	return t
+}
+
+// LoadValue reads the functional store (tests/examples only).
+func (c *Cube) LoadValue(addr memmap.Addr) hmcatomic.Value {
+	if c.mem == nil {
+		return hmcatomic.Value{}
+	}
+	return c.mem[addr]
+}
+
+// StoreValue writes the functional store (tests/examples only).
+func (c *Cube) StoreValue(addr memmap.Addr, v hmcatomic.Value) {
+	if c.mem != nil {
+		c.mem[addr] = v
+	}
+}
+
+// FlitsPerCycle exposes the link serialization rate (tests).
+func (c *Cube) FlitsPerCycle() float64 { return c.flitsPerCycle }

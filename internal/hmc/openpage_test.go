@@ -1,0 +1,72 @@
+package hmc
+
+import (
+	"testing"
+
+	"graphpim/internal/memmap"
+	"graphpim/internal/sim"
+)
+
+func openCube() (*Cube, *sim.Stats) {
+	st := sim.NewStats()
+	cfg := DefaultConfig()
+	cfg.OpenPage = true
+	return New(cfg, st), st
+}
+
+func TestOpenPageRowHitIsFaster(t *testing.T) {
+	c, st := openCube()
+	// Two reads to the same 4KB row of the same bank. With 32-vault
+	// interleaving, addresses 64B apart land in different vaults, so use
+	// the same address twice (same row, same bank).
+	first := c.ReadLine(0x10000, 0)
+	second := c.ReadLine(0x10000, 5000)
+	if second >= first {
+		t.Fatalf("row hit (%d) not faster than activate (%d)", second, first)
+	}
+	if st.Get("hmc.dram.row_hits") != 1 {
+		t.Fatalf("row hits = %d", st.Get("hmc.dram.row_hits"))
+	}
+}
+
+func TestOpenPageRowConflictIsSlower(t *testing.T) {
+	c, st := openCube()
+	// Same vault and bank, different rows: stride by
+	// NumVaults*BanksPerVault*64 to stay in bank 0 of vault 0... with
+	// the default mapping, bank changes every NumVaults blocks; choose
+	// two addresses with identical vault/bank but different rows.
+	a := memmap.Addr(0)
+	b := memmap.Addr(1 << 20) // 1MB apart: same low block bits pattern
+	va, ba := c.VaultBank(a)
+	vb, bb := c.VaultBank(b)
+	if va != vb || ba != bb {
+		t.Skipf("addresses map to different banks (%d/%d vs %d/%d)", va, ba, vb, bb)
+	}
+	c.ReadLine(a, 0)
+	c.ReadLine(b, 5000) // conflict: row changed
+	if st.Get("hmc.dram.row_conflicts") != 1 {
+		t.Fatalf("row conflicts = %d", st.Get("hmc.dram.row_conflicts"))
+	}
+}
+
+func TestClosedPageHasNoRowHits(t *testing.T) {
+	c, st := newCube()
+	c.ReadLine(0x10000, 0)
+	c.ReadLine(0x10000, 5000)
+	if st.Get("hmc.dram.row_hits") != 0 {
+		t.Fatal("closed-page policy recorded row hits")
+	}
+	if st.Get("hmc.dram.activates") != 2 {
+		t.Fatalf("activates = %d", st.Get("hmc.dram.activates"))
+	}
+}
+
+func TestOpenPageActivateCountDropsOnHits(t *testing.T) {
+	c, st := openCube()
+	for i := 0; i < 10; i++ {
+		c.ReadLine(0x20000, uint64(i*5000))
+	}
+	if st.Get("hmc.dram.activates") != 1 || st.Get("hmc.dram.row_hits") != 9 {
+		t.Fatalf("activates=%d hits=%d", st.Get("hmc.dram.activates"), st.Get("hmc.dram.row_hits"))
+	}
+}

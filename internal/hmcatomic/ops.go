@@ -1,0 +1,176 @@
+// Package hmcatomic implements the atomic operations defined by the HMC 2.0
+// specification as summarized in Table I of the GraphPIM paper, plus the
+// floating-point add/sub extension the paper proposes in Section III-C.
+//
+// Each PIM operation performs an atomic read-modify-write on a single
+// 8- or 16-byte memory operand using an immediate carried in the request
+// packet. The package provides three things:
+//
+//   - the command enumeration (18 HMC 2.0 commands + 2 extension commands);
+//   - functional semantics (Apply), used by the HMC model's functional
+//     units and by tests that cross-check against host-side execution;
+//   - packet FLIT costs (Table V), used by the link bandwidth model.
+package hmcatomic
+
+import "fmt"
+
+// Op identifies one HMC atomic command.
+type Op uint8
+
+// The 18 HMC 2.0 atomic commands (grouped as in Table I) followed by the
+// two extension commands proposed by the paper.
+const (
+	// Arithmetic: single/dual signed add, with or without return.
+	Add16     Op = iota // 128-bit signed add, no return
+	TwoAdd8             // dual independent 64-bit signed adds, no return
+	AddS16R             // 128-bit signed add, returns old value
+	TwoAddS8R           // dual 64-bit signed adds, returns old value
+
+	// Bitwise: swap and bit write.
+	Swap16 // swap memory with immediate, returns old value
+	BWR    // bit write under mask, no return
+	BWR8R  // bit write under mask, returns old value
+
+	// Boolean, 16 byte, no return.
+	And16
+	Nand16
+	Or16
+	Nor16
+	Xor16
+
+	// Comparison: CAS variants (with return) and compare-if-equal.
+	CasEQ8    // compare-and-swap if equal, 8 byte
+	CasZero16 // swap if memory is zero, 16 byte
+	CasGT16   // swap if immediate > memory (signed), 16 byte
+	CasLT16   // swap if immediate < memory (signed), 16 byte
+	Eq8       // compare-if-equal, 8 byte, returns flag only
+	Eq16      // compare-if-equal, 16 byte, returns flag only
+
+	// Extension proposed by the paper (Section III-C): floating-point
+	// add/sub so that PageRank and Betweenness Centrality can offload.
+	ExtFPAdd64
+	ExtFPSub64
+
+	numOps
+)
+
+// NumHMC2Ops is the number of commands in the HMC 2.0 specification proper.
+const NumHMC2Ops = 18
+
+// NumOps is the total command count including the paper's FP extension.
+const NumOps = int(numOps)
+
+var opNames = [numOps]string{
+	Add16:      "ADD16",
+	TwoAdd8:    "2ADD8",
+	AddS16R:    "ADDS16R",
+	TwoAddS8R:  "2ADDS8R",
+	Swap16:     "SWAP16",
+	BWR:        "BWR",
+	BWR8R:      "BWR8R",
+	And16:      "AND16",
+	Nand16:     "NAND16",
+	Or16:       "OR16",
+	Nor16:      "NOR16",
+	Xor16:      "XOR16",
+	CasEQ8:     "CASEQ8",
+	CasZero16:  "CASZERO16",
+	CasGT16:    "CASGT16",
+	CasLT16:    "CASLT16",
+	Eq8:        "EQ8",
+	Eq16:       "EQ16",
+	ExtFPAdd64: "EXT_FPADD64",
+	ExtFPSub64: "EXT_FPSUB64",
+}
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Class groups commands for FLIT-cost and documentation purposes.
+type Class uint8
+
+// Command classes as used by Table I / Table V.
+const (
+	ClassArithmetic Class = iota
+	ClassBitwise
+	ClassBoolean
+	ClassComparison
+	ClassExtension
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassArithmetic:
+		return "arithmetic"
+	case ClassBitwise:
+		return "bitwise"
+	case ClassBoolean:
+		return "boolean"
+	case ClassComparison:
+		return "comparison"
+	case ClassExtension:
+		return "extension"
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// ClassOf returns the Table I class of the command.
+func ClassOf(o Op) Class {
+	switch o {
+	case Add16, TwoAdd8, AddS16R, TwoAddS8R:
+		return ClassArithmetic
+	case Swap16, BWR, BWR8R:
+		return ClassBitwise
+	case And16, Nand16, Or16, Nor16, Xor16:
+		return ClassBoolean
+	case CasEQ8, CasZero16, CasGT16, CasLT16, Eq8, Eq16:
+		return ClassComparison
+	default:
+		return ClassExtension
+	}
+}
+
+// DataSize returns the memory operand size in bytes (8 or 16).
+func DataSize(o Op) int {
+	switch o {
+	case CasEQ8, Eq8, ExtFPAdd64, ExtFPSub64:
+		return 8
+	default:
+		return 16
+	}
+}
+
+// HasReturn reports whether the command's response carries data (the old
+// memory value and/or the atomic flag) back to the host, which costs an
+// extra response FLIT (Table V).
+func HasReturn(o Op) bool {
+	switch o {
+	case Add16, TwoAdd8, BWR, And16, Nand16, Or16, Nor16, Xor16:
+		return false
+	default:
+		return true
+	}
+}
+
+// IsExtension reports whether the command is part of the paper's proposed
+// floating-point extension rather than the HMC 2.0 specification.
+func IsExtension(o Op) bool { return o == ExtFPAdd64 || o == ExtFPSub64 }
+
+// IsFloat reports whether the command needs a floating-point functional
+// unit in the vault logic.
+func IsFloat(o Op) bool { return IsExtension(o) }
+
+// AllOps returns every command, HMC 2.0 first, then extensions.
+func AllOps() []Op {
+	ops := make([]Op, NumOps)
+	for i := range ops {
+		ops[i] = Op(i)
+	}
+	return ops
+}

@@ -1,0 +1,110 @@
+package hmcatomic
+
+import "math"
+
+// Value is a 16-byte operand. For 8-byte commands only Lo is meaningful.
+// Dual-add commands treat Lo and Hi as two independent 64-bit lanes.
+type Value struct {
+	Lo, Hi uint64
+}
+
+// Result describes the outcome of executing a PIM atomic in the vault
+// logic die.
+type Result struct {
+	// New is the value written back to DRAM. For commands whose guard
+	// fails (e.g. CASEQ8 on mismatch) New equals the original value.
+	New Value
+	// Old is the original memory value; returned to the host only when
+	// HasReturn(op) is true.
+	Old Value
+	// Flag is the atomic flag included in responses: true when the
+	// operation "succeeded" (for CAS/EQ commands, whether the comparison
+	// held; for unconditional commands, always true).
+	Flag bool
+	// Wrote reports whether DRAM was actually modified, which matters
+	// for DRAM energy accounting.
+	Wrote bool
+}
+
+func add128(a, b Value) Value {
+	lo := a.Lo + b.Lo
+	carry := uint64(0)
+	if lo < a.Lo {
+		carry = 1
+	}
+	return Value{Lo: lo, Hi: a.Hi + b.Hi + carry}
+}
+
+// sgn128Less reports whether a < b treating the values as signed 128-bit
+// integers.
+func sgn128Less(a, b Value) bool {
+	ah, bh := int64(a.Hi), int64(b.Hi)
+	if ah != bh {
+		return ah < bh
+	}
+	return a.Lo < b.Lo
+}
+
+// Apply executes op on memory operand mem with immediate imm and returns
+// the outcome. It is pure: the caller owns writing Result.New back.
+func Apply(op Op, mem, imm Value) Result {
+	switch op {
+	case Add16, AddS16R:
+		n := add128(mem, imm)
+		return Result{New: n, Old: mem, Flag: true, Wrote: true}
+	case TwoAdd8, TwoAddS8R:
+		n := Value{Lo: mem.Lo + imm.Lo, Hi: mem.Hi + imm.Hi}
+		return Result{New: n, Old: mem, Flag: true, Wrote: true}
+	case Swap16:
+		return Result{New: imm, Old: mem, Flag: true, Wrote: true}
+	case BWR, BWR8R:
+		// Immediate carries write data in Lo and the bit mask in Hi,
+		// matching the HMC BWR packet layout (8B data + 8B mask).
+		n := Value{Lo: (mem.Lo &^ imm.Hi) | (imm.Lo & imm.Hi), Hi: mem.Hi}
+		return Result{New: n, Old: mem, Flag: true, Wrote: true}
+	case And16:
+		return Result{New: Value{mem.Lo & imm.Lo, mem.Hi & imm.Hi}, Old: mem, Flag: true, Wrote: true}
+	case Nand16:
+		return Result{New: Value{^(mem.Lo & imm.Lo), ^(mem.Hi & imm.Hi)}, Old: mem, Flag: true, Wrote: true}
+	case Or16:
+		return Result{New: Value{mem.Lo | imm.Lo, mem.Hi | imm.Hi}, Old: mem, Flag: true, Wrote: true}
+	case Nor16:
+		return Result{New: Value{^(mem.Lo | imm.Lo), ^(mem.Hi | imm.Hi)}, Old: mem, Flag: true, Wrote: true}
+	case Xor16:
+		return Result{New: Value{mem.Lo ^ imm.Lo, mem.Hi ^ imm.Hi}, Old: mem, Flag: true, Wrote: true}
+	case CasEQ8:
+		// Immediate carries the compare value in Hi and the swap value
+		// in Lo (8-byte operand: only Lo of memory participates).
+		if mem.Lo == imm.Hi {
+			return Result{New: Value{Lo: imm.Lo, Hi: mem.Hi}, Old: mem, Flag: true, Wrote: true}
+		}
+		return Result{New: mem, Old: mem, Flag: false}
+	case CasZero16:
+		if mem == (Value{}) {
+			return Result{New: imm, Old: mem, Flag: true, Wrote: true}
+		}
+		return Result{New: mem, Old: mem, Flag: false}
+	case CasGT16:
+		if sgn128Less(mem, imm) { // imm > mem
+			return Result{New: imm, Old: mem, Flag: true, Wrote: true}
+		}
+		return Result{New: mem, Old: mem, Flag: false}
+	case CasLT16:
+		if sgn128Less(imm, mem) { // imm < mem
+			return Result{New: imm, Old: mem, Flag: true, Wrote: true}
+		}
+		return Result{New: mem, Old: mem, Flag: false}
+	case Eq8:
+		return Result{New: mem, Old: mem, Flag: mem.Lo == imm.Lo}
+	case Eq16:
+		return Result{New: mem, Old: mem, Flag: mem == imm}
+	case ExtFPAdd64:
+		n := math.Float64bits(math.Float64frombits(mem.Lo) + math.Float64frombits(imm.Lo))
+		return Result{New: Value{Lo: n, Hi: mem.Hi}, Old: mem, Flag: true, Wrote: true}
+	case ExtFPSub64:
+		n := math.Float64bits(math.Float64frombits(mem.Lo) - math.Float64frombits(imm.Lo))
+		return Result{New: Value{Lo: n, Hi: mem.Hi}, Old: mem, Flag: true, Wrote: true}
+	}
+	// Unknown command: leave memory untouched and report failure.
+	return Result{New: mem, Old: mem, Flag: false}
+}

@@ -1,0 +1,393 @@
+// Package machine assembles the full simulated system of Table IV: 16
+// out-of-order cores with private L1/L2 and a shared L3, a PIM offloading
+// unit per core, and one HMC cube as main memory. It implements the three
+// system configurations the paper evaluates:
+//
+//   - Baseline: conventional architecture, host atomics through the caches;
+//   - U-PEI: idealized PEI — candidates that hit in cache execute host-side
+//     with no coherence cost, misses offload to the HMC;
+//   - GraphPIM: PMR atomics offload unconditionally and all PMR accesses
+//     bypass the cache hierarchy.
+package machine
+
+import (
+	"fmt"
+
+	"graphpim/internal/cache"
+	"graphpim/internal/cpu"
+	"graphpim/internal/hmc"
+	"graphpim/internal/hmcatomic"
+	"graphpim/internal/memmap"
+	"graphpim/internal/pou"
+	"graphpim/internal/sim"
+	"graphpim/internal/trace"
+)
+
+// Config is a complete machine configuration.
+type Config struct {
+	// Name labels the configuration in results ("Baseline", "U-PEI",
+	// "GraphPIM").
+	Name string
+	// NumCores is the core count (Table IV: 16).
+	NumCores int
+
+	CPU   cpu.Config
+	Cache cache.Config
+	HMC   hmc.Config
+	POU   pou.Config
+
+	// HMCCubes chains multiple cubes (HMC supports up to 8); addresses
+	// interleave across the chain at page granularity and far cubes pay
+	// pass-through hop latency.
+	HMCCubes int
+
+	// HostAtomicRMW is the extra in-core cycles a host atomic spends
+	// locking the line and performing the read-modify-write.
+	HostAtomicRMW uint64
+	// HostFPAtomicExtra is the additional cost of a floating-point
+	// accumulate on the host: there is no FP lock instruction, so the
+	// compiler emits a load + FP add + lock cmpxchg retry loop.
+	HostFPAtomicExtra uint64
+	// UPEIHostOpLat is the latency of executing a PEI operation in the
+	// host-side PIM unit on a cache hit.
+	UPEIHostOpLat uint64
+	// UPEICheckPenalty is the cache-port contention each U-PEI locality
+	// check imposes on the core's in-flight loads (the cache checking
+	// time GraphPIM avoids, Section IV-B1).
+	UPEICheckPenalty uint64
+	// UCIssueGap is the minimum initiation interval between uncacheable
+	// accesses from one core: UC accesses are ordered and issue from a
+	// small non-speculative queue, so they enjoy far less memory-level
+	// parallelism than ordinary cacheable misses.
+	UCIssueGap uint64
+}
+
+// Baseline returns the conventional-architecture configuration.
+func Baseline() Config { return newConfig("Baseline", pou.Baseline()) }
+
+// GraphPIM returns the paper's configuration; extended enables the FP
+// atomic extension.
+func GraphPIM(extended bool) Config {
+	name := "GraphPIM"
+	if extended {
+		name = "GraphPIM+FP"
+	}
+	return newConfig(name, pou.GraphPIM(extended))
+}
+
+// UPEI returns the idealized PEI upper bound; extended enables the FP
+// atomic extension.
+func UPEI(extended bool) Config {
+	name := "U-PEI"
+	if extended {
+		name = "U-PEI+FP"
+	}
+	return newConfig(name, pou.UPEI(extended))
+}
+
+func newConfig(name string, p pou.Config) Config {
+	const cores = 16
+	return Config{
+		Name:              name,
+		NumCores:          cores,
+		CPU:               cpu.DefaultConfig(),
+		Cache:             cache.DefaultConfig(cores),
+		HMC:               hmc.DefaultConfig(),
+		POU:               p,
+		HMCCubes:          1,
+		HostAtomicRMW:     8,
+		HostFPAtomicExtra: 30,
+		UPEIHostOpLat:     2,
+		UPEICheckPenalty:  8,
+		UCIssueGap:        16,
+	}
+}
+
+// Result summarizes one simulation run.
+type Result struct {
+	Config       string
+	Cycles       uint64
+	Instructions uint64
+	Stats        map[string]uint64
+}
+
+// IPC returns the average per-core instructions per cycle.
+func (r Result) IPC(numCores int) float64 {
+	if r.Cycles == 0 || numCores == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles) / float64(numCores)
+}
+
+// MPKI returns misses per kilo-instruction for the given cache level
+// counter prefix ("cache.l1", "cache.l2", "cache.l3").
+func (r Result) MPKI(level string) float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return float64(r.Stats[level+".miss"]) * 1000 / float64(r.Instructions)
+}
+
+// Speedup returns base's execution time divided by r's.
+func (r Result) Speedup(base Result) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(base.Cycles) / float64(r.Cycles)
+}
+
+// TotalFlits returns request+response link FLITs.
+func (r Result) TotalFlits() uint64 {
+	return r.Stats["hmc.flits.req"] + r.Stats["hmc.flits.rsp"]
+}
+
+// Machine is one assembled system ready to replay a trace.
+type Machine struct {
+	cfg   Config
+	stats *sim.Stats
+	space *memmap.AddressSpace
+	cube  *hmc.Pool
+	cache *cache.Hierarchy
+	pou   *pou.Unit
+	cores []*cpu.Core
+	// ucFree is each core's next allowed UC issue time (UC ordering).
+	ucFree []uint64
+}
+
+// New assembles a machine for the given trace. The trace must have been
+// generated against space and have at most cfg.NumCores threads.
+func New(cfg Config, space *memmap.AddressSpace, tr *trace.Trace) *Machine {
+	if tr.NumThreads() > cfg.NumCores {
+		panic(fmt.Sprintf("machine: trace has %d threads but machine has %d cores",
+			tr.NumThreads(), cfg.NumCores))
+	}
+	st := sim.NewStats()
+	cubes := cfg.HMCCubes
+	if cubes == 0 {
+		cubes = 1
+	}
+	poolCfg := hmc.DefaultPoolConfig(cubes)
+	poolCfg.Cube = cfg.HMC
+	m := &Machine{
+		cfg:   cfg,
+		stats: st,
+		space: space,
+		cube:  hmc.NewPool(poolCfg, st),
+		pou:   pou.New(cfg.POU, space),
+	}
+	m.cache = cache.New(cfg.Cache, m.cube, st)
+	m.ucFree = make([]uint64, cfg.NumCores)
+	for c := 0; c < cfg.NumCores; c++ {
+		var stream []trace.Instr
+		if c < tr.NumThreads() {
+			stream = tr.Threads[c]
+		}
+		m.cores = append(m.cores, cpu.NewCore(c, cfg.CPU, m, stream, st))
+	}
+	return m
+}
+
+// Stats exposes the live counter registry.
+func (m *Machine) Stats() *sim.Stats { return m.stats }
+
+// Load implements cpu.MemorySystem.
+func (m *Machine) Load(core int, in trace.Instr, now uint64) cpu.MemResult {
+	d := m.pou.Route(in)
+	if d.Path == pou.PathUC {
+		m.stats.Inc("mem.uc_loads")
+		at := now
+		if m.ucFree[core] > at {
+			at = m.ucFree[core]
+		}
+		m.ucFree[core] = at + m.cfg.UCIssueGap
+		lat := m.cube.UCRead(in.Addr, at)
+		return cpu.MemResult{CompleteAt: at + lat, OffChip: true}
+	}
+	m.stats.Inc("mem.loads." + in.Region.String())
+	r := m.cache.Access(core, in.Addr, false, now)
+	return cpu.MemResult{CompleteAt: now + r.Latency, OffChip: r.Level == cache.LevelMem}
+}
+
+// Store implements cpu.MemorySystem.
+func (m *Machine) Store(core int, in trace.Instr, now uint64) cpu.MemResult {
+	d := m.pou.Route(in)
+	if d.Path == pou.PathUC {
+		m.stats.Inc("mem.uc_stores")
+		at := now
+		if m.ucFree[core] > at {
+			at = m.ucFree[core]
+		}
+		m.ucFree[core] = at + m.cfg.UCIssueGap
+		done := m.cube.UCWrite(in.Addr, at)
+		return cpu.MemResult{CompleteAt: done, OffChip: true}
+	}
+	m.stats.Inc("mem.stores." + in.Region.String())
+	r := m.cache.Access(core, in.Addr, true, now)
+	return cpu.MemResult{CompleteAt: now + r.Latency, OffChip: r.Level == cache.LevelMem}
+}
+
+// AtomicBlocking implements cpu.MemorySystem.
+func (m *Machine) AtomicBlocking(core int, in trace.Instr) bool {
+	return m.pou.Route(in).Path == pou.PathHostAtomic
+}
+
+// probeLatency is the cache-walk cost of U-PEI's locality check.
+func (m *Machine) probeLatency(lvl cache.Level) uint64 {
+	c := m.cfg.Cache
+	switch lvl {
+	case cache.LevelL1:
+		return c.L1Lat
+	case cache.LevelL2:
+		return c.L1Lat + c.L2Lat
+	default:
+		return c.L1Lat + c.L2Lat + c.L3Lat
+	}
+}
+
+// Atomic implements cpu.MemorySystem.
+func (m *Machine) Atomic(core int, in trace.Instr, now uint64) cpu.AtomicResult {
+	d := m.pou.Route(in)
+	if d.Candidate {
+		m.stats.Inc("pou.candidates")
+	}
+
+	switch d.Path {
+	case pou.PathHostAtomic:
+		// Read-for-ownership through the cache hierarchy, then the
+		// locked RMW in the core.
+		r := m.cache.Access(core, in.Addr, true, now)
+		if d.Candidate {
+			if r.Level == cache.LevelMem {
+				m.stats.Inc("pou.candidates.miss")
+			} else {
+				m.stats.Inc("pou.candidates.hit")
+			}
+		}
+		m.stats.Inc("mem.host_atomics")
+		lat := r.Latency + m.cfg.HostAtomicRMW
+		if in.Atomic == trace.AtomicFPAdd {
+			lat += m.cfg.HostFPAtomicExtra
+		}
+		return cpu.AtomicResult{
+			Blocking:      true,
+			AcceptedAt:    now,
+			CompleteAt:    now + lat,
+			InCacheCycles: r.WalkLatency,
+		}
+
+	case pou.PathPIM:
+		if m.cfg.POU.HostOnCacheHit {
+			// U-PEI: the ideal locality monitor checks the caches
+			// first and executes host-side on a hit.
+			lvl, hit := m.cache.Probe(core, in.Addr)
+			if hit {
+				if d.Candidate {
+					m.stats.Inc("pou.candidates.hit")
+				}
+				m.stats.Inc("mem.upei_host_ops")
+				r := m.cache.Access(core, in.Addr, true, now)
+				return cpu.AtomicResult{
+					AcceptedAt:   now + 2,
+					CompleteAt:   now + r.Latency + m.cfg.UPEIHostOpLat,
+					ChainPenalty: m.cfg.UPEICheckPenalty,
+				}
+			}
+			if d.Candidate {
+				m.stats.Inc("pou.candidates.miss")
+			}
+			// Miss: pay the full cache walk before offloading; the
+			// fill is skipped (PEI computes in memory, ideal
+			// coherence keeps nothing to write back).
+			walk := m.probeLatency(lvl)
+			m.stats.Inc("mem.pim_atomics")
+			t := m.cube.Atomic(d.Op, in.Addr, hmcatomic.Value{}, now+walk)
+			return cpu.AtomicResult{
+				AcceptedAt:    t.Accepted,
+				CompleteAt:    t.ResponseAt,
+				InCacheCycles: walk,
+				OffChip:       true,
+				ChainPenalty:  m.cfg.UPEICheckPenalty,
+			}
+		}
+		// GraphPIM: offload immediately, no cache involvement at all.
+		m.stats.Inc("mem.pim_atomics")
+		t := m.cube.Atomic(d.Op, in.Addr, hmcatomic.Value{}, now)
+		return cpu.AtomicResult{
+			AcceptedAt: t.Accepted,
+			CompleteAt: t.ResponseAt,
+			OffChip:    true,
+		}
+	}
+
+	// Unreachable for atomics, but keep a sane default.
+	r := m.cache.Access(core, in.Addr, true, now)
+	return cpu.AtomicResult{Blocking: true, AcceptedAt: now, CompleteAt: now + r.Latency}
+}
+
+// Run replays the trace to completion (or maxCycles, whichever first) and
+// returns the result. maxCycles <= 0 means no limit.
+func (m *Machine) Run(maxCycles uint64) Result {
+	var now, elapsed uint64
+	for {
+		minNext := ^uint64(0)
+		allDone := true
+		for _, c := range m.cores {
+			next := c.Tick(now, elapsed)
+			if !c.Done() {
+				allDone = false
+				if next < minNext {
+					minNext = next
+				}
+			}
+		}
+		if allDone {
+			break
+		}
+
+		// Barrier release: every unfinished core parked.
+		allWaiting := true
+		for _, c := range m.cores {
+			if !c.Done() && !c.WaitingBarrier() {
+				allWaiting = false
+				break
+			}
+		}
+		if allWaiting {
+			for _, c := range m.cores {
+				c.ReleaseBarrier(now)
+			}
+			m.stats.Inc("machine.barriers")
+			minNext = now + 1
+		}
+
+		if minNext == ^uint64(0) {
+			panic(fmt.Sprintf("machine: deadlock at cycle %d", now))
+		}
+		if minNext <= now {
+			minNext = now + 1
+		}
+		elapsed = minNext - now
+		now = minNext
+		if maxCycles > 0 && now > maxCycles {
+			break
+		}
+	}
+
+	var retired uint64
+	for _, c := range m.cores {
+		retired += c.Retired()
+	}
+	m.stats.Set("machine.cycles", now)
+	return Result{
+		Config:       m.cfg.Name,
+		Cycles:       now,
+		Instructions: retired,
+		Stats:        m.stats.Snapshot(),
+	}
+}
+
+// RunTrace is the one-call convenience used by the harness: assemble a
+// machine for cfg and replay tr.
+func RunTrace(cfg Config, space *memmap.AddressSpace, tr *trace.Trace) Result {
+	return New(cfg, space, tr).Run(0)
+}

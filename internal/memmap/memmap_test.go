@@ -1,0 +1,150 @@
+package memmap
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocAlignment(t *testing.T) {
+	s := NewAddressSpace()
+	for i := 0; i < 100; i++ {
+		a := s.AllocMeta(uint64(i*7 + 1))
+		if a%64 != 0 {
+			t.Fatalf("allocation %d at %#x not 64-byte aligned", i, a)
+		}
+	}
+}
+
+func TestAllocDisjoint(t *testing.T) {
+	s := NewAddressSpace()
+	type rng struct{ base, end Addr }
+	var all []rng
+	add := func(base Addr, size uint64) {
+		all = append(all, rng{base, base + Addr(size)})
+	}
+	for i := 1; i <= 50; i++ {
+		add(s.AllocMeta(uint64(i)), uint64(i))
+		add(s.AllocStruct(uint64(i*3)), uint64(i*3))
+		add(s.AllocProperty(uint64(i*5)), uint64(i*5))
+		add(s.PMRMalloc(uint64(i*9)), uint64(i*9))
+	}
+	for i := range all {
+		for j := i + 1; j < len(all); j++ {
+			a, b := all[i], all[j]
+			if a.base < b.end && b.base < a.end {
+				t.Fatalf("ranges overlap: [%#x,%#x) and [%#x,%#x)", a.base, a.end, b.base, b.end)
+			}
+		}
+	}
+}
+
+func TestInPMR(t *testing.T) {
+	s := NewAddressSpace()
+	normal := s.AllocProperty(4096)
+	pmr := s.PMRMalloc(4096)
+	if s.InPMR(normal) {
+		t.Error("regular property allocation reported in PMR")
+	}
+	if !s.InPMR(pmr) {
+		t.Error("PMR allocation not reported in PMR")
+	}
+	if !s.InPMR(pmr + 4095) {
+		t.Error("last byte of PMR allocation not in PMR")
+	}
+	if s.InPMR(pmr + 4096) {
+		t.Error("byte past PMR allocation reported in PMR")
+	}
+}
+
+func TestInPMRManyRanges(t *testing.T) {
+	s := NewAddressSpace()
+	var bases []Addr
+	for i := 0; i < 64; i++ {
+		bases = append(bases, s.PMRMalloc(128))
+	}
+	for i, b := range bases {
+		if !s.InPMR(b) || !s.InPMR(b+127) {
+			t.Fatalf("range %d not found by binary search", i)
+		}
+	}
+}
+
+func TestInPMRProperty(t *testing.T) {
+	// Property test: any address handed out by PMRMalloc plus any offset
+	// inside the allocation is in the PMR; the byte before the first
+	// allocation is not.
+	f := func(sizes []uint16) bool {
+		s := NewAddressSpace()
+		for _, sz := range sizes {
+			size := uint64(sz)%8192 + 1
+			base := s.PMRMalloc(size)
+			if !s.InPMR(base) || !s.InPMR(base+Addr(size-1)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegionOf(t *testing.T) {
+	s := NewAddressSpace()
+	if got := s.RegionOf(s.AllocMeta(64)); got != RegionMeta {
+		t.Errorf("meta alloc classified as %v", got)
+	}
+	if got := s.RegionOf(s.AllocStruct(64)); got != RegionStruct {
+		t.Errorf("struct alloc classified as %v", got)
+	}
+	if got := s.RegionOf(s.AllocProperty(64)); got != RegionProperty {
+		t.Errorf("property alloc classified as %v", got)
+	}
+	if got := s.RegionOf(s.PMRMalloc(64)); got != RegionProperty {
+		t.Errorf("PMR alloc classified as %v", got)
+	}
+}
+
+func TestRegionString(t *testing.T) {
+	if RegionMeta.String() != "meta" || RegionStruct.String() != "struct" || RegionProperty.String() != "property" {
+		t.Error("unexpected Region string values")
+	}
+	if Region(99).String() == "" {
+		t.Error("unknown region should still render")
+	}
+}
+
+func TestFootprint(t *testing.T) {
+	s := NewAddressSpace()
+	s.AllocMeta(100)
+	s.AllocStruct(200)
+	s.AllocProperty(300)
+	s.PMRMalloc(400)
+	meta, structure, prop := s.Footprint()
+	if meta < 100 || structure < 200 || prop < 700 {
+		t.Fatalf("footprint too small: %d %d %d", meta, structure, prop)
+	}
+	// Bump allocation plus alignment can only add padding, never more
+	// than 64 bytes per allocation.
+	if meta > 164 || structure > 264 || prop > 828 {
+		t.Fatalf("footprint too large: %d %d %d", meta, structure, prop)
+	}
+}
+
+func TestLineAddr(t *testing.T) {
+	if LineAddr(0x1234) != 0x1200 {
+		t.Errorf("LineAddr(0x1234) = %#x", LineAddr(0x1234))
+	}
+	if LineAddr(64) != 64 || LineAddr(63) != 0 {
+		t.Error("LineAddr boundary behaviour wrong")
+	}
+}
+
+func TestZeroSizeAlloc(t *testing.T) {
+	s := NewAddressSpace()
+	a := s.AllocMeta(0)
+	b := s.AllocMeta(0)
+	if a == b {
+		t.Fatal("zero-size allocations must still be distinct")
+	}
+}

@@ -1,0 +1,152 @@
+// Package pou implements the PIM Offloading Unit of Section III-B: the
+// per-core datapath decision that routes each memory instruction either
+// through the cache hierarchy, around it as an uncacheable (UC) access, or
+// to the HMC as a PIM atomic command.
+//
+// GraphPIM adds no new host instructions: the POU keys entirely off (a)
+// whether the instruction carries an atomic ("lock") semantics and (b)
+// whether its address falls inside the PIM memory region (PMR).
+package pou
+
+import (
+	"graphpim/internal/hmcatomic"
+	"graphpim/internal/memmap"
+	"graphpim/internal/trace"
+)
+
+// Path is the datapath chosen for one memory instruction.
+type Path uint8
+
+// Datapaths.
+const (
+	// PathCache sends the access through the normal cache hierarchy.
+	PathCache Path = iota
+	// PathHostAtomic executes a host atomic through the cache hierarchy
+	// with RFO, cache-line locking, write-buffer drain, and pipeline
+	// freeze.
+	PathHostAtomic
+	// PathUC bypasses the cache hierarchy with an uncacheable sub-line
+	// access (non-atomic instructions touching the PMR).
+	PathUC
+	// PathPIM offloads the atomic to the HMC as a PIM command.
+	PathPIM
+)
+
+// String implements fmt.Stringer.
+func (p Path) String() string {
+	switch p {
+	case PathCache:
+		return "cache"
+	case PathHostAtomic:
+		return "host-atomic"
+	case PathUC:
+		return "uc"
+	case PathPIM:
+		return "pim"
+	}
+	return "path(?)"
+}
+
+// Config selects the offloading behaviour of a machine configuration.
+type Config struct {
+	// OffloadAtomics routes PMR atomics to the HMC (GraphPIM and U-PEI).
+	OffloadAtomics bool
+	// UCBypass routes non-atomic PMR accesses around the caches
+	// (GraphPIM's cache policy; U-PEI keeps them cacheable).
+	UCBypass bool
+	// HostOnCacheHit executes an offloading candidate host-side when its
+	// line is present in the cache (U-PEI's ideal locality monitor).
+	HostOnCacheHit bool
+	// ExtendedAtomics enables the paper's FP add/sub extension, allowing
+	// AtomicFPAdd to translate to a PIM command.
+	ExtendedAtomics bool
+	// PMRActive marks whether the framework actually placed the graph
+	// property into the PMR for this run. The framework only does so
+	// when every property atomic of the workload maps to a PIM command
+	// (Table III applicability); otherwise the PMR segment behaves as
+	// ordinary cacheable memory.
+	PMRActive bool
+}
+
+// Baseline returns the conventional-architecture configuration.
+func Baseline() Config { return Config{} }
+
+// GraphPIM returns the paper's proposed configuration. extended enables
+// the FP-atomic extension.
+func GraphPIM(extended bool) Config {
+	return Config{
+		OffloadAtomics:  true,
+		UCBypass:        true,
+		ExtendedAtomics: extended,
+		PMRActive:       true,
+	}
+}
+
+// UPEI returns the idealized PEI upper-bound configuration. extended
+// enables the FP-atomic extension.
+func UPEI(extended bool) Config {
+	return Config{
+		OffloadAtomics:  true,
+		HostOnCacheHit:  true,
+		ExtendedAtomics: extended,
+		PMRActive:       true,
+	}
+}
+
+// Unit is one core's PIM offloading unit.
+type Unit struct {
+	cfg   Config
+	space *memmap.AddressSpace
+}
+
+// New returns a POU routing against the given address space.
+func New(cfg Config, space *memmap.AddressSpace) *Unit {
+	return &Unit{cfg: cfg, space: space}
+}
+
+// Config returns the unit's configuration.
+func (u *Unit) Config() Config { return u.cfg }
+
+// Decision is the routing outcome for one instruction.
+type Decision struct {
+	Path Path
+	// Op is the HMC command used when Path == PathPIM.
+	Op hmcatomic.Op
+	// Candidate marks offloading candidates (atomics on PMR property
+	// data), tracked for the Fig. 10 cache-miss-rate analysis in every
+	// configuration including Baseline.
+	Candidate bool
+}
+
+// inActivePMR reports whether addr is governed by PMR semantics this run.
+func (u *Unit) inActivePMR(addr memmap.Addr) bool {
+	return u.cfg.PMRActive && u.space.InPMR(addr)
+}
+
+// Route decides the datapath for one instruction record.
+func (u *Unit) Route(in trace.Instr) Decision {
+	switch in.Kind {
+	case trace.KindLoad, trace.KindStore:
+		if u.cfg.UCBypass && u.inActivePMR(in.Addr) {
+			return Decision{Path: PathUC}
+		}
+		return Decision{Path: PathCache}
+	case trace.KindAtomic:
+		cand := in.Region == memmap.RegionProperty
+		if !u.cfg.OffloadAtomics || !u.inActivePMR(in.Addr) {
+			return Decision{Path: PathHostAtomic, Candidate: cand}
+		}
+		op, ok := in.Atomic.PIMOp(u.cfg.ExtendedAtomics)
+		if !ok {
+			// Unmappable atomic inside an active PMR: the framework
+			// avoids this by construction (it only activates the PMR
+			// for applicable workloads); fall back to the host path,
+			// which models the bus-lock degradation the paper warns
+			// about via the UC access cost in the machine layer.
+			return Decision{Path: PathHostAtomic, Candidate: cand}
+		}
+		return Decision{Path: PathPIM, Op: op, Candidate: cand}
+	default:
+		return Decision{Path: PathCache}
+	}
+}

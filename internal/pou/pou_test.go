@@ -1,0 +1,140 @@
+package pou
+
+import (
+	"testing"
+
+	"graphpim/internal/hmcatomic"
+	"graphpim/internal/memmap"
+	"graphpim/internal/trace"
+)
+
+type fixture struct {
+	space      *memmap.AddressSpace
+	pmrAddr    memmap.Addr
+	propAddr   memmap.Addr
+	structAddr memmap.Addr
+}
+
+func newFixture() fixture {
+	sp := memmap.NewAddressSpace()
+	return fixture{
+		space:      sp,
+		pmrAddr:    sp.PMRMalloc(4096),
+		propAddr:   sp.AllocProperty(4096),
+		structAddr: sp.AllocStruct(4096),
+	}
+}
+
+func load(addr memmap.Addr, region memmap.Region) trace.Instr {
+	return trace.Instr{Kind: trace.KindLoad, Addr: addr, Size: 8, Region: region}
+}
+
+func atomic(addr memmap.Addr, kind trace.HostAtomic, region memmap.Region) trace.Instr {
+	return trace.Instr{Kind: trace.KindAtomic, Addr: addr, Size: 8, Atomic: kind, Region: region}
+}
+
+func TestBaselineRoutesEverythingToCache(t *testing.T) {
+	f := newFixture()
+	u := New(Baseline(), f.space)
+	if d := u.Route(load(f.pmrAddr, memmap.RegionProperty)); d.Path != PathCache {
+		t.Errorf("baseline PMR load routed to %v", d.Path)
+	}
+	d := u.Route(atomic(f.pmrAddr, trace.AtomicCAS, memmap.RegionProperty))
+	if d.Path != PathHostAtomic {
+		t.Errorf("baseline atomic routed to %v", d.Path)
+	}
+	if !d.Candidate {
+		t.Error("baseline must still mark offloading candidates for Fig. 10")
+	}
+}
+
+func TestGraphPIMRouting(t *testing.T) {
+	f := newFixture()
+	u := New(GraphPIM(false), f.space)
+
+	if d := u.Route(load(f.pmrAddr, memmap.RegionProperty)); d.Path != PathUC {
+		t.Errorf("PMR load routed to %v, want UC", d.Path)
+	}
+	if d := u.Route(load(f.structAddr, memmap.RegionStruct)); d.Path != PathCache {
+		t.Errorf("structure load routed to %v, want cache", d.Path)
+	}
+	d := u.Route(atomic(f.pmrAddr, trace.AtomicCAS, memmap.RegionProperty))
+	if d.Path != PathPIM || d.Op != hmcatomic.CasEQ8 || !d.Candidate {
+		t.Errorf("PMR CAS: %+v", d)
+	}
+	d = u.Route(atomic(f.pmrAddr, trace.AtomicAdd, memmap.RegionProperty))
+	if d.Path != PathPIM || d.Op != hmcatomic.TwoAdd8 {
+		t.Errorf("PMR add: %+v", d)
+	}
+	// Atomics outside the PMR stay on the host even in GraphPIM.
+	if d := u.Route(atomic(f.propAddr, trace.AtomicCAS, memmap.RegionProperty)); d.Path != PathHostAtomic {
+		t.Errorf("non-PMR atomic routed to %v", d.Path)
+	}
+}
+
+func TestFPAtomicNeedsExtension(t *testing.T) {
+	f := newFixture()
+	plain := New(GraphPIM(false), f.space)
+	ext := New(GraphPIM(true), f.space)
+	in := atomic(f.pmrAddr, trace.AtomicFPAdd, memmap.RegionProperty)
+	if d := plain.Route(in); d.Path != PathHostAtomic {
+		t.Errorf("FP atomic without extension routed to %v", d.Path)
+	}
+	if d := ext.Route(in); d.Path != PathPIM || d.Op != hmcatomic.ExtFPAdd64 {
+		t.Errorf("FP atomic with extension: %+v", d)
+	}
+}
+
+func TestInactivePMRBehavesAsCacheable(t *testing.T) {
+	f := newFixture()
+	cfg := GraphPIM(false)
+	cfg.PMRActive = false // framework did not activate the PMR
+	u := New(cfg, f.space)
+	if d := u.Route(load(f.pmrAddr, memmap.RegionProperty)); d.Path != PathCache {
+		t.Errorf("inactive-PMR load routed to %v", d.Path)
+	}
+	if d := u.Route(atomic(f.pmrAddr, trace.AtomicCAS, memmap.RegionProperty)); d.Path != PathHostAtomic {
+		t.Errorf("inactive-PMR atomic routed to %v", d.Path)
+	}
+}
+
+func TestUPEIRouting(t *testing.T) {
+	f := newFixture()
+	u := New(UPEI(false), f.space)
+	// U-PEI does not use UC bypass: property loads stay cacheable.
+	if d := u.Route(load(f.pmrAddr, memmap.RegionProperty)); d.Path != PathCache {
+		t.Errorf("U-PEI property load routed to %v", d.Path)
+	}
+	// Candidates offload (the machine layer applies the hit-side host
+	// execution using Config().HostOnCacheHit).
+	if d := u.Route(atomic(f.pmrAddr, trace.AtomicCAS, memmap.RegionProperty)); d.Path != PathPIM {
+		t.Errorf("U-PEI atomic routed to %v", d.Path)
+	}
+	if !u.Config().HostOnCacheHit {
+		t.Error("U-PEI must enable HostOnCacheHit")
+	}
+}
+
+func TestComplexAtomicNeverOffloads(t *testing.T) {
+	f := newFixture()
+	u := New(GraphPIM(true), f.space)
+	if d := u.Route(atomic(f.pmrAddr, trace.AtomicComplex, memmap.RegionProperty)); d.Path != PathHostAtomic {
+		t.Errorf("complex atomic routed to %v", d.Path)
+	}
+}
+
+func TestComputeAndBarrierRouteToCache(t *testing.T) {
+	f := newFixture()
+	u := New(GraphPIM(true), f.space)
+	if d := u.Route(trace.Instr{Kind: trace.KindCompute, N: 1}); d.Path != PathCache {
+		t.Errorf("compute routed to %v", d.Path)
+	}
+}
+
+func TestPathStrings(t *testing.T) {
+	for _, p := range []Path{PathCache, PathHostAtomic, PathUC, PathPIM} {
+		if p.String() == "" || p.String() == "path(?)" {
+			t.Errorf("path %d has bad string %q", p, p.String())
+		}
+	}
+}

@@ -1,0 +1,93 @@
+// Package sim provides the low-level building blocks shared by every timing
+// model in the simulator: the cycle clock, deterministic pseudo-random
+// numbers, and named statistic counters.
+//
+// All components in this repository are cycle-stepped against a single
+// Clock. There is intentionally no event wheel: the machine model calls
+// Tick on each component once per cycle in a fixed order, which keeps the
+// whole simulation deterministic for a given seed and configuration.
+package sim
+
+import "fmt"
+
+// CoreClockGHz is the frequency of the modeled host cores. All DRAM timing
+// parameters expressed in nanoseconds are converted to core cycles with
+// NsToCycles.
+const CoreClockGHz = 2.0
+
+// NsToCycles converts a duration in nanoseconds into core clock cycles,
+// rounding up so that a timing constraint is never under-modeled.
+func NsToCycles(ns float64) uint64 {
+	c := ns * CoreClockGHz
+	u := uint64(c)
+	if float64(u) < c {
+		u++
+	}
+	return u
+}
+
+// Clock is the global cycle counter. The zero value starts at cycle 0.
+type Clock struct {
+	cycle uint64
+}
+
+// Now returns the current cycle.
+func (c *Clock) Now() uint64 { return c.cycle }
+
+// Advance moves the clock forward by one cycle.
+func (c *Clock) Advance() { c.cycle++ }
+
+// Reset rewinds the clock to cycle zero.
+func (c *Clock) Reset() { c.cycle = 0 }
+
+// Rand is a small, fast, deterministic PRNG (xorshift64*). The simulator
+// cannot use math/rand's global source because experiments must be exactly
+// reproducible across runs and architectures.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a PRNG seeded with seed. A zero seed is remapped to a
+// fixed non-zero constant because xorshift has an all-zero fixed point.
+func NewRand(seed uint64) *Rand {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &Rand{state: seed}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *Rand) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("sim: Intn called with n=%d", n))
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stats is a flat registry of named uint64 counters. Components share one
+// Stats instance per machine so that experiment harnesses can read any
+// counter by name without plumbing accessors through every layer.
+type Stats struct {
+	counters map[string]uint64
+}
+
+// NewStats returns an empty counter registry.
+func NewStats() *Stats {
+	return &Stats{counters: make(map[string]uint64)}
+}
+
+// Add increments the named counter by delta.
+func (s *Stats) Add(name string, delta uint64) {
+	s.counters[name] += delta
+}
+
+// Inc increments the named counter by one.
+func (s *Stats) Inc(name string) { s.Add(name, 1) }
+
+// Get returns the value of the named counter (zero if never touched).
+func (s *Stats) Get(name string) uint64 { return s.counters[name] }
+
+// Set overwrites the named counter.
+func (s *Stats) Set(name string, v uint64) { s.counters[name] = v }
+
+// Names returns all counter names in sorted order.
+func (s *Stats) Names() []string {
+	names := make([]string, 0, len(s.counters))
+	for n := range s.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Snapshot returns a copy of all counters.
+func (s *Stats) Snapshot() map[string]uint64 {
+	out := make(map[string]uint64, len(s.counters))
+	for k, v := range s.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// Ratio returns counter a divided by counter b, or 0 when b is zero.
+func (s *Stats) Ratio(a, b string) float64 {
+	den := s.Get(b)
+	if den == 0 {
+		return 0
+	}
+	return float64(s.Get(a)) / float64(den)
+}
+
+// String renders every counter on its own "name = value" line, sorted by
+// name; useful for debugging and golden tests.
+func (s *Stats) String() string {
+	var b strings.Builder
+	for _, n := range s.Names() {
+		fmt.Fprintf(&b, "%s = %d\n", n, s.counters[n])
+	}
+	return b.String()
+}

@@ -1,0 +1,161 @@
+package trace
+
+import (
+	"fmt"
+
+	"graphpim/internal/memmap"
+)
+
+// Builder accumulates per-thread instruction streams. Workload code holds
+// one Builder and emits through the thread-scoped Emitter values so that
+// the thread index never has to be threaded through framework helpers.
+type Builder struct {
+	space   *memmap.AddressSpace
+	threads [][]Instr
+}
+
+// NewBuilder returns a Builder for numThreads logical threads emitting
+// addresses classified against space.
+func NewBuilder(space *memmap.AddressSpace, numThreads int) *Builder {
+	if numThreads <= 0 {
+		panic(fmt.Sprintf("trace: invalid thread count %d", numThreads))
+	}
+	return &Builder{
+		space:   space,
+		threads: make([][]Instr, numThreads),
+	}
+}
+
+// NumThreads returns the logical thread count.
+func (b *Builder) NumThreads() int { return len(b.threads) }
+
+// Thread returns the Emitter for thread t.
+func (b *Builder) Thread(t int) *Emitter {
+	return &Emitter{b: b, tid: t}
+}
+
+// Barrier appends a barrier record to every thread. Threads reaching the
+// barrier stall until all threads arrive.
+func (b *Builder) Barrier() {
+	for t := range b.threads {
+		b.threads[t] = append(b.threads[t], Instr{Kind: KindBarrier})
+	}
+}
+
+// Build finalizes the trace. The Builder may continue to be used; Build
+// snapshots the current streams.
+func (b *Builder) Build() *Trace {
+	threads := make([][]Instr, len(b.threads))
+	for i, th := range b.threads {
+		cp := make([]Instr, len(th))
+		copy(cp, th)
+		threads[i] = cp
+	}
+	return &Trace{Threads: threads}
+}
+
+// Emitter emits instructions for one logical thread.
+type Emitter struct {
+	b   *Builder
+	tid int
+}
+
+func (e *Emitter) push(in Instr) {
+	e.b.threads[e.tid] = append(e.b.threads[e.tid], in)
+}
+
+// Compute emits a batch of n single-cycle ALU instructions. Batches larger
+// than 65535 are split; adjacent flag-free compute batches are coalesced
+// to keep traces compact.
+func (e *Emitter) Compute(n int) {
+	th := e.b.threads[e.tid]
+	if n > 0 && len(th) > 0 {
+		last := &th[len(th)-1]
+		if last.Kind == KindCompute && last.Flags == 0 {
+			room := 65535 - int(last.N)
+			if room > n {
+				room = n
+			}
+			last.N += uint16(room)
+			n -= room
+		}
+	}
+	for n > 0 {
+		chunk := n
+		if chunk > 65535 {
+			chunk = 65535
+		}
+		e.push(Instr{Kind: KindCompute, N: uint16(chunk)})
+		n -= chunk
+	}
+}
+
+// Load emits a read of size bytes at addr. depPrev marks a dependence on
+// the previous memory result (pointer chase).
+func (e *Emitter) Load(addr memmap.Addr, size int, depPrev bool) {
+	var flags uint8
+	if depPrev {
+		flags |= FlagDepPrev
+	}
+	e.push(Instr{
+		Kind:   KindLoad,
+		Addr:   addr,
+		Size:   uint8(size),
+		Region: e.b.space.RegionOf(addr),
+		Flags:  flags,
+	})
+}
+
+// Store emits a write of size bytes at addr.
+func (e *Emitter) Store(addr memmap.Addr, size int, depPrev bool) {
+	var flags uint8
+	if depPrev {
+		flags |= FlagDepPrev
+	}
+	e.push(Instr{
+		Kind:   KindStore,
+		Addr:   addr,
+		Size:   uint8(size),
+		Region: e.b.space.RegionOf(addr),
+		Flags:  flags,
+	})
+}
+
+// Atomic emits a host atomic instruction of the given form at addr.
+// depPrev marks atomics whose operand comes from the previous memory
+// result (e.g. a CAS comparing against a just-loaded value); retUsed marks
+// atomics whose result feeds later instructions (e.g. the branch after a
+// CAS); failed marks CAS attempts whose comparison lost.
+func (e *Emitter) Atomic(kind HostAtomic, addr memmap.Addr, size int, depPrev, retUsed, failed bool) {
+	var flags uint8
+	if depPrev {
+		flags |= FlagDepPrev
+	}
+	if retUsed {
+		flags |= FlagRetUsed
+	}
+	if failed {
+		flags |= FlagCASFail
+	}
+	e.push(Instr{
+		Kind:   KindAtomic,
+		Addr:   addr,
+		Size:   uint8(size),
+		Atomic: kind,
+		Region: e.b.space.RegionOf(addr),
+		Flags:  flags,
+	})
+}
+
+// DependentCompute emits n ALU instructions whose first instruction
+// depends on the previous memory result — the "dependent instruction
+// block" after a returning atomic or load (Fig. 8).
+func (e *Emitter) DependentCompute(n int) {
+	if n <= 0 {
+		return
+	}
+	e.push(Instr{Kind: KindCompute, N: 1, Flags: FlagDepPrev})
+	if n > 1 {
+		e.Compute(n - 1)
+	}
+}

@@ -1,0 +1,52 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead hardens the binary trace parser against corrupt and
+// adversarial inputs: it must either return an error or a structurally
+// valid trace, never panic or over-allocate.
+func FuzzRead(f *testing.F) {
+	// Seed with a valid trace and a few mutations.
+	tr, sp := buildSampleTrace(1)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr, sp); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("GPIMTRC1"))
+	truncated := append([]byte(nil), valid[:len(valid)/2]...)
+	f.Add(truncated)
+	flipped := append([]byte(nil), valid...)
+	flipped[9] ^= 0xFF
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, space, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if got == nil || space == nil {
+			t.Fatal("nil result without error")
+		}
+		if got.NumThreads() == 0 || got.NumThreads() > 1024 {
+			t.Fatalf("implausible thread count %d accepted", got.NumThreads())
+		}
+		// A successfully parsed trace must round-trip.
+		var buf bytes.Buffer
+		if err := Write(&buf, got, space); err != nil {
+			t.Fatalf("rewrite failed: %v", err)
+		}
+		again, _, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("reparse failed: %v", err)
+		}
+		if again.TotalInstructions() != got.TotalInstructions() {
+			t.Fatal("round trip changed instruction count")
+		}
+	})
+}

@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"graphpim/internal/memmap"
+)
+
+// Binary trace format. Traces can be expensive to regenerate (a workload
+// executes functionally over the whole graph), so the harness and CLI can
+// persist them and replay against any machine configuration later.
+//
+// Layout (little endian):
+//
+//	magic   [8]byte  "GPIMTRC1"
+//	threads uint32
+//	ranges  uint32                 // uncacheable (PMR) ranges
+//	ranges x { base uint64, size uint64 }
+//	threads x { count uint64, count x instr[16] }
+//
+// Each instruction record is 16 bytes: addr u64, n u16, size u8, kind u8,
+// atomic u8, region u8, flags u8, pad u8.
+
+var traceMagic = [8]byte{'G', 'P', 'I', 'M', 'T', 'R', 'C', '1'}
+
+// instrBytes encodes one record.
+func instrBytes(in Instr) [16]byte {
+	var b [16]byte
+	binary.LittleEndian.PutUint64(b[0:8], uint64(in.Addr))
+	binary.LittleEndian.PutUint16(b[8:10], in.N)
+	b[10] = in.Size
+	b[11] = byte(in.Kind)
+	b[12] = byte(in.Atomic)
+	b[13] = byte(in.Region)
+	b[14] = in.Flags
+	return b
+}
+
+func instrFromBytes(b []byte) Instr {
+	return Instr{
+		Addr:   memmap.Addr(binary.LittleEndian.Uint64(b[0:8])),
+		N:      binary.LittleEndian.Uint16(b[8:10]),
+		Size:   b[10],
+		Kind:   Kind(b[11]),
+		Atomic: HostAtomic(b[12]),
+		Region: memmap.Region(b[13]),
+		Flags:  b[14],
+	}
+}
+
+// Write serializes the trace plus the PMR ranges of its address space
+// (needed to route offloading decisions on replay).
+func Write(w io.Writer, tr *Trace, space *memmap.AddressSpace) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(traceMagic[:]); err != nil {
+		return err
+	}
+	ranges := space.UCRanges()
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(tr.NumThreads()))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(ranges)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var u64 [8]byte
+	for _, r := range ranges {
+		binary.LittleEndian.PutUint64(u64[:], uint64(r[0]))
+		if _, err := bw.Write(u64[:]); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint64(u64[:], uint64(r[1]))
+		if _, err := bw.Write(u64[:]); err != nil {
+			return err
+		}
+	}
+	for _, th := range tr.Threads {
+		binary.LittleEndian.PutUint64(u64[:], uint64(len(th)))
+		if _, err := bw.Write(u64[:]); err != nil {
+			return err
+		}
+		for _, in := range th {
+			b := instrBytes(in)
+			if _, err := bw.Write(b[:]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a trace written by Write, returning the trace and an
+// address space carrying the original PMR ranges.
+func Read(r io.Reader) (*Trace, *memmap.AddressSpace, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if magic != traceMagic {
+		return nil, nil, fmt.Errorf("trace: bad magic %q", magic[:])
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	threads := binary.LittleEndian.Uint32(hdr[0:4])
+	ranges := binary.LittleEndian.Uint32(hdr[4:8])
+	if threads == 0 || threads > 1024 {
+		return nil, nil, fmt.Errorf("trace: implausible thread count %d", threads)
+	}
+
+	space := memmap.NewAddressSpace()
+	var u64 [8]byte
+	for i := uint32(0); i < ranges; i++ {
+		if _, err := io.ReadFull(br, u64[:]); err != nil {
+			return nil, nil, fmt.Errorf("trace: reading range base: %w", err)
+		}
+		base := memmap.Addr(binary.LittleEndian.Uint64(u64[:]))
+		if _, err := io.ReadFull(br, u64[:]); err != nil {
+			return nil, nil, fmt.Errorf("trace: reading range size: %w", err)
+		}
+		size := memmap.Addr(binary.LittleEndian.Uint64(u64[:]))
+		space.RestoreUncacheable(base, size)
+	}
+
+	tr := &Trace{Threads: make([][]Instr, threads)}
+	buf := make([]byte, 16)
+	for t := uint32(0); t < threads; t++ {
+		if _, err := io.ReadFull(br, u64[:]); err != nil {
+			return nil, nil, fmt.Errorf("trace: reading thread %d length: %w", t, err)
+		}
+		count := binary.LittleEndian.Uint64(u64[:])
+		if count > 1<<31 {
+			return nil, nil, fmt.Errorf("trace: implausible stream length %d", count)
+		}
+		// Never pre-size from an untrusted header: a corrupt length must
+		// not allocate gigabytes before the read loop hits EOF.
+		capHint := count
+		if capHint > 1<<16 {
+			capHint = 1 << 16
+		}
+		stream := make([]Instr, 0, capHint)
+		for i := uint64(0); i < count; i++ {
+			if _, err := io.ReadFull(br, buf); err != nil {
+				return nil, nil, fmt.Errorf("trace: reading thread %d instr %d: %w", t, i, err)
+			}
+			stream = append(stream, instrFromBytes(buf))
+		}
+		tr.Threads[t] = stream
+	}
+	return tr, space, nil
+}

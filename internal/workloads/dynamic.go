@@ -1,0 +1,174 @@
+package workloads
+
+import (
+	"graphpim/internal/gframe"
+	"graphpim/internal/graph"
+	"graphpim/internal/sim"
+)
+
+// The three dynamic-graph workloads mutate the graph structure itself.
+// Their updates touch multiple memory locations with indirect accesses
+// (vertex headers, edge objects, degree counters, free lists), which the
+// single-operand HMC atomics cannot express — Table III marks all three
+// "Complex operation". They run entirely on the host path in every
+// configuration; the framework does not activate the PMR for them.
+
+// ---------------------------------------------------------------------------
+// Graph construction
+
+// GCons builds the graph incrementally from its edge list, exercising the
+// insertion path: claim an edge slot, link it into the adjacency, and
+// bump degree counters — a multi-location atomic block per edge.
+type GCons struct{}
+
+// NewGCons returns a graph-construction workload.
+func NewGCons() *GCons { return &GCons{} }
+
+// Info implements Workload.
+func (*GCons) Info() Info {
+	return Info{
+		Name: "GCons", Full: "Graph construction", Category: DynamicGraph,
+		MissingOp:     "Complex operation",
+		OffloadTarget: "-", PIMAtomic: "-",
+	}
+}
+
+// DynOutput is the functional result of the dynamic workloads: how many
+// structure operations were applied.
+type DynOutput struct {
+	Ops uint64
+}
+
+// Run implements Workload.
+func (w *GCons) Run(f *gframe.Framework) Result {
+	g := f.Graph()
+	degree := f.AllocProperty("gcons.degree", 8)
+
+	var ops uint64
+	ranges := gframe.BalancedRanges(g, f.NumThreads())
+	for t := 0; t < f.NumThreads(); t++ {
+		c := f.Thread(t)
+		for v := ranges[t][0]; v < ranges[t][1]; v++ {
+			u := graph.VID(v)
+			c.BeginVertex(u)
+			c.OutEdges(u, func(nb graph.VID, _ uint32) {
+				// Insert edge (u, nb): slot claim + link + degree
+				// bumps. Complex, host-only.
+				c.ComplexUpdate(degree, nb, 2)
+				degree.SetU64(nb, degree.U64(nb)+1)
+				ops++
+			})
+		}
+	}
+	f.Barrier()
+	return Result{Output: DynOutput{Ops: ops}, EdgesVisited: ops}
+}
+
+// ---------------------------------------------------------------------------
+// Graph update
+
+// GUp applies a stream of edge deletions: unlink the edge object, patch
+// neighbor pointers, and decrement degrees.
+type GUp struct{}
+
+// NewGUp returns a graph-update workload.
+func NewGUp() *GUp { return &GUp{} }
+
+// Info implements Workload.
+func (*GUp) Info() Info {
+	return Info{
+		Name: "GUp", Full: "Graph update", Category: DynamicGraph,
+		MissingOp:     "Complex operation",
+		OffloadTarget: "-", PIMAtomic: "-",
+	}
+}
+
+// Run implements Workload.
+func (w *GUp) Run(f *gframe.Framework) Result {
+	g := f.Graph()
+	degree := f.AllocProperty("gup.degree", 8)
+	for v := 0; v < g.NumVertices(); v++ {
+		degree.SetU64(graph.VID(v), uint64(g.OutDegree(graph.VID(v))))
+	}
+
+	var ops uint64
+	r := sim.NewRand(1234)
+	ranges := gframe.BalancedRanges(g, f.NumThreads())
+	for t := 0; t < f.NumThreads(); t++ {
+		c := f.Thread(t)
+		for v := ranges[t][0]; v < ranges[t][1]; v++ {
+			u := graph.VID(v)
+			deg := c.BeginVertex(u)
+			if deg == 0 {
+				continue
+			}
+			// Delete roughly a quarter of u's edges.
+			c.OutEdges(u, func(nb graph.VID, _ uint32) {
+				if r.Intn(4) != 0 {
+					return
+				}
+				c.ComplexUpdate(degree, u, 3)
+				degree.SetU64(u, degree.U64(u)-1)
+				ops++
+			})
+		}
+	}
+	f.Barrier()
+	return Result{Output: DynOutput{Ops: ops}, EdgesVisited: ops}
+}
+
+// ---------------------------------------------------------------------------
+// Topology morphing
+
+// TMorph coarsens the topology (GraphBIG's morphing workload): vertices
+// merge into their lowest-labeled neighbor, rewriting adjacency for both
+// endpoints — indirect multi-operand updates plus a dynamic footprint.
+type TMorph struct{}
+
+// NewTMorph returns a topology-morphing workload.
+func NewTMorph() *TMorph { return &TMorph{} }
+
+// Info implements Workload.
+func (*TMorph) Info() Info {
+	return Info{
+		Name: "TMorph", Full: "Topology morphing", Category: DynamicGraph,
+		MissingOp:     "Complex operation",
+		OffloadTarget: "-", PIMAtomic: "-",
+	}
+}
+
+// Run implements Workload.
+func (w *TMorph) Run(f *gframe.Framework) Result {
+	g := f.Graph()
+	n := g.NumVertices()
+	merge := f.AllocProperty("tmorph.merge", 8)
+	for v := 0; v < n; v++ {
+		merge.SetU64(graph.VID(v), uint64(v))
+	}
+
+	var ops uint64
+	ranges := gframe.BalancedRanges(g, f.NumThreads())
+	for t := 0; t < f.NumThreads(); t++ {
+		c := f.Thread(t)
+		for v := ranges[t][0]; v < ranges[t][1]; v++ {
+			u := graph.VID(v)
+			c.BeginVertex(u)
+			best := uint64(v)
+			c.OutEdges(u, func(nb graph.VID, _ uint32) {
+				x := c.LoadU64(merge, nb, true)
+				c.DependentCompute(2)
+				if x < best {
+					best = x
+				}
+			})
+			if best != uint64(v) {
+				// Merge u into best: rewrite adjacency on both sides.
+				c.ComplexUpdate(merge, u, 4)
+				merge.SetU64(u, best)
+				ops++
+			}
+		}
+	}
+	f.Barrier()
+	return Result{Output: DynOutput{Ops: ops}, EdgesVisited: ops}
+}

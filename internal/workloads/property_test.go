@@ -1,0 +1,144 @@
+package workloads
+
+import (
+	"testing"
+	"testing/quick"
+
+	"graphpim/internal/gframe"
+	"graphpim/internal/graph"
+	"graphpim/internal/trace"
+)
+
+// Property: BFS through the framework matches the reference on random
+// Erdős–Rényi graphs of random sizes and seeds.
+func TestBFSPropertyOnRandomGraphs(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 16 + int(seed%200)
+		g := graph.ErdosRenyi(n, 4, seed)
+		fw := gframe.New(g, 1+int(seed%8), gframe.DefaultCostModel())
+		res := NewBFS(0).Run(fw)
+		got := res.Output.(BFSOutput).Depth
+		want := RefBFS(g, 0)
+		for v := range want {
+			if got[v] != want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SSSP matches Dijkstra on random weighted graphs.
+func TestSSSPPropertyOnRandomGraphs(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 16 + int(seed%150)
+		g := graph.ErdosRenyi(n, 5, seed)
+		fw := gframe.New(g, 1+int(seed%8), gframe.DefaultCostModel())
+		res := NewSSSP(0).Run(fw)
+		got := res.Output.(SSSPOutput).Dist
+		want := RefSSSP(g, 0)
+		for v := range want {
+			if got[v] != want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CComp labels equal the component-minimum vertex id on random
+// graphs.
+func TestCCompPropertyOnRandomGraphs(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 16 + int(seed%150)
+		g := graph.ErdosRenyi(n, 2, seed)
+		fw := gframe.New(g, 1+int(seed%8), gframe.DefaultCostModel())
+		res := NewCComp().Run(fw)
+		got := res.Output.(CCompOutput).Label
+		want := RefCComp(g)
+		for v := range want {
+			if got[v] != want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Traces must be deterministic: the same workload over the same graph and
+// thread count emits byte-identical instruction streams.
+func TestTraceDeterminism(t *testing.T) {
+	g := graph.LDBC(512, 3)
+	for _, mk := range []func() Workload{
+		func() Workload { return NewBFS(0) },
+		func() Workload { return NewDC() },
+		func() Workload { return NewPRank(2) },
+		func() Workload { return NewKCore(3) },
+	} {
+		fw1 := gframe.New(g, 4, gframe.DefaultCostModel())
+		mk().Run(fw1)
+		fw2 := gframe.New(g, 4, gframe.DefaultCostModel())
+		mk().Run(fw2)
+		t1, t2 := fw1.Trace(), fw2.Trace()
+		if t1.NumThreads() != t2.NumThreads() {
+			t.Fatalf("%T: thread counts differ", mk())
+		}
+		for th := range t1.Threads {
+			if len(t1.Threads[th]) != len(t2.Threads[th]) {
+				t.Fatalf("%s: thread %d stream lengths differ", mk().Info().Name, th)
+			}
+			for i := range t1.Threads[th] {
+				if t1.Threads[th][i] != t2.Threads[th][i] {
+					t.Fatalf("%s: thread %d instr %d differs", mk().Info().Name, th, i)
+				}
+			}
+		}
+	}
+}
+
+// Every applicable workload's property atomics must map onto PIM commands
+// (the framework only activates the PMR for applicable workloads; this
+// checks the two agree).
+func TestApplicabilityConsistentWithEmittedAtomics(t *testing.T) {
+	g := graph.LDBC(512, 9)
+	for _, w := range All() {
+		info := w.Info()
+		fw := gframe.New(g, 2, gframe.DefaultCostModel())
+		w.Run(fw)
+		kinds := fw.Trace().AtomicsByKind()
+		for kind := range kinds {
+			_, okBase := kind.PIMOp(false)
+			_, okExt := kind.PIMOp(true)
+			switch {
+			case info.Applicable && !okBase:
+				t.Errorf("%s declared applicable but emits %v (no HMC 2.0 mapping)", info.Name, kind)
+			case !info.Applicable && info.NeedsFPExtension && !okExt:
+				t.Errorf("%s declared FP-extension-applicable but emits %v (no mapping even with extension)",
+					info.Name, kind)
+			case !info.Applicable && !info.NeedsFPExtension && okBase && kind != trace.AtomicNone:
+				// Inapplicable workloads may still emit *some* mappable
+				// atomics; the blocker is that at least one is not.
+			}
+		}
+		if !info.Applicable && !info.NeedsFPExtension {
+			allMappable := len(kinds) > 0
+			for kind := range kinds {
+				if _, ok := kind.PIMOp(true); !ok {
+					allMappable = false
+				}
+			}
+			if allMappable && len(kinds) > 0 {
+				t.Errorf("%s declared inapplicable but every emitted atomic maps to a PIM op", info.Name)
+			}
+		}
+	}
+}

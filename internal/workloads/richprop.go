@@ -1,0 +1,163 @@
+package workloads
+
+import (
+	"graphpim/internal/gframe"
+	"graphpim/internal/graph"
+)
+
+// ---------------------------------------------------------------------------
+// Triangle count
+
+// TC counts triangles by sorted adjacency intersection. The intersection
+// loops dominate — the workload is compute-intensive within properties,
+// so while its per-vertex count update ("lock add") is offloadable, the
+// PIM benefit is small (Fig. 7).
+type TC struct{}
+
+// NewTC returns a triangle-count workload.
+func NewTC() *TC { return &TC{} }
+
+// Info implements Workload.
+func (*TC) Info() Info {
+	return Info{
+		Name: "TC", Full: "Triangle count", Category: RichProperty,
+		Applicable:    true,
+		OffloadTarget: "lock add", PIMAtomic: "Signed add",
+	}
+}
+
+// TCOutput is the functional result: per-vertex and total triangle counts
+// (each triangle counted once per corner orientation found).
+type TCOutput struct {
+	PerVertex []uint64
+	Total     uint64
+}
+
+// Run implements Workload.
+func (w *TC) Run(f *gframe.Framework) Result {
+	g := f.Graph()
+	count := f.AllocProperty("tc.count", 8)
+
+	var edges uint64
+	ranges := gframe.BalancedRanges(g, f.NumThreads())
+	var total uint64
+	for t := 0; t < f.NumThreads(); t++ {
+		c := f.Thread(t)
+		for v := ranges[t][0]; v < ranges[t][1]; v++ {
+			u := graph.VID(v)
+			c.BeginVertex(u)
+			nbrU := g.OutNeighbors(u)
+			c.OutEdges(u, func(x graph.VID, _ uint32) {
+				edges++
+				if x <= u {
+					return
+				}
+				// Intersect adj(u) with adj(x): the compute-heavy
+				// inner loop over both sorted lists. The merge work is
+				// emitted as one compute batch plus one cache-line-
+				// granular structure load per 8 scanned entries.
+				nbrX := g.OutNeighbors(x)
+				c.BeginVertex(x)
+				found := uint64(0)
+				i, j := 0, 0
+				for i < len(nbrU) && j < len(nbrX) {
+					switch {
+					case nbrU[i] == nbrX[j]:
+						if nbrU[i] > x {
+							found++
+						}
+						i++
+						j++
+					case nbrU[i] < nbrX[j]:
+						i++
+					default:
+						j++
+					}
+				}
+				c.ScanStructure(uint64(u)*13+uint64(x), (i+j)/8+1)
+				c.Compute(2 * (i + j))
+				if found > 0 {
+					c.AtomicAdd(count, u, int64(found))
+					total += found
+				}
+			})
+		}
+	}
+	f.Barrier()
+	return Result{Output: TCOutput{PerVertex: count.Snapshot(), Total: total}, EdgesVisited: edges}
+}
+
+// ---------------------------------------------------------------------------
+// Gibbs inference
+
+// Gibbs models GraphBIG's Gibbs-sampling inference over a Bayesian
+// network: each sweep recomputes every vertex's state from its neighbors'
+// states through a conditional-probability table — heavy numeric work
+// inside the vertex property (Section II-B's Rich Property description).
+// Its updates are computation-intensive and multi-word, so it cannot use
+// PIM atomics (Table III).
+type Gibbs struct {
+	sweeps int
+}
+
+// NewGibbs returns a Gibbs-inference workload running the given number of
+// sweeps.
+func NewGibbs(sweeps int) *Gibbs { return &Gibbs{sweeps: sweeps} }
+
+// Info implements Workload.
+func (*Gibbs) Info() Info {
+	return Info{
+		Name: "Gibbs", Full: "Gibbs inference", Category: RichProperty,
+		MissingOp:     "Computation intensive",
+		OffloadTarget: "-", PIMAtomic: "-",
+	}
+}
+
+// GibbsOutput is the functional result: final binary state per vertex and
+// the total number of state flips.
+type GibbsOutput struct {
+	State []uint64
+	Flips uint64
+}
+
+// Run implements Workload.
+func (w *Gibbs) Run(f *gframe.Framework) Result {
+	g := f.Graph()
+	n := g.NumVertices()
+	state := f.AllocProperty("gibbs.state", 8)
+	for v := 0; v < n; v++ {
+		state.SetU64(graph.VID(v), uint64(v)&1)
+	}
+
+	var edges, flips uint64
+	ranges := gframe.BalancedRanges(g, f.NumThreads())
+	for s := 0; s < w.sweeps; s++ {
+		for t := 0; t < f.NumThreads(); t++ {
+			c := f.Thread(t)
+			for v := ranges[t][0]; v < ranges[t][1]; v++ {
+				u := graph.VID(v)
+				c.BeginVertex(u)
+				// Gather neighbor states and walk the conditional
+				// probability table: numeric work per neighbor.
+				sum := uint64(0)
+				c.InEdges(u, func(nb graph.VID) {
+					edges++
+					sum += c.LoadU64(state, nb, true)
+					c.DependentCompute(6)
+				})
+				deg := g.InDegree(u)
+				c.Compute(16) // CPT normalization and sampling
+				var newState uint64
+				if deg > 0 && sum*2 > uint64(deg) {
+					newState = 1
+				}
+				if newState != c.LoadU64(state, u, false) {
+					flips++
+					c.StoreU64(state, u, newState)
+				}
+			}
+		}
+		f.Barrier()
+	}
+	return Result{Output: GibbsOutput{State: state.Snapshot(), Flips: flips}, EdgesVisited: edges}
+}

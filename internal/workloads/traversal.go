@@ -1,0 +1,625 @@
+package workloads
+
+import (
+	"graphpim/internal/gframe"
+	"graphpim/internal/graph"
+)
+
+// ---------------------------------------------------------------------------
+// Breadth-first search
+
+// BFS is the vertex-frontier breadth-first search of Fig. 3: each level,
+// threads claim unvisited neighbors with a compare-and-swap on the depth
+// property and push winners into the next frontier.
+type BFS struct {
+	root graph.VID
+}
+
+// NewBFS returns a BFS from root.
+func NewBFS(root graph.VID) *BFS { return &BFS{root: root} }
+
+// Info implements Workload.
+func (*BFS) Info() Info {
+	return Info{
+		Name: "BFS", Full: "Breadth-first search", Category: GraphTraversal,
+		Applicable:    true,
+		OffloadTarget: "lock cmpxchg", PIMAtomic: "CAS if equal",
+	}
+}
+
+// BFSOutput is the functional result: depth per vertex (Infinity when
+// unreachable).
+type BFSOutput struct {
+	Depth []uint64
+}
+
+// Run implements Workload.
+func (w *BFS) Run(f *gframe.Framework) Result {
+	depth := f.AllocProperty("bfs.depth", 8)
+	depth.Fill(Infinity)
+	depth.SetU64(w.root, 0)
+
+	var edges uint64
+	frontiers := perThreadFrontiers(f.Graph(), []graph.VID{w.root}, f.NumThreads())
+	for d := uint64(0); ; d++ {
+		next := make([][]graph.VID, f.NumThreads())
+		any := false
+		for t := 0; t < f.NumThreads(); t++ {
+			c := f.Thread(t)
+			for qi, u := range frontiers[t] {
+				c.QueuePop(qi)
+				c.BeginVertex(u)
+				c.OutEdges(u, func(v graph.VID, _ uint32) {
+					edges++
+					if c.CAS(depth, v, Infinity, d+1) {
+						next[t] = append(next[t], v)
+						c.QueuePush(len(next[t]))
+					}
+				})
+			}
+			if len(next[t]) > 0 {
+				any = true
+			}
+		}
+		f.Barrier()
+		if !any {
+			break
+		}
+		// The framework scheduler redistributes the next frontier so
+		// thread loads stay balanced by degree.
+		frontiers = rebalance(f, next)
+	}
+	return Result{Output: BFSOutput{Depth: depth.Snapshot()}, EdgesVisited: edges}
+}
+
+// ---------------------------------------------------------------------------
+// Depth-first search
+
+// DFS performs parallel depth-first exploration: each thread runs a DFS
+// from the unclaimed vertices of its partition, claiming vertices through
+// a CAS on the visited property (GraphBIG's parallel DFS).
+type DFS struct{}
+
+// NewDFS returns a DFS workload.
+func NewDFS() *DFS { return &DFS{} }
+
+// Info implements Workload.
+func (*DFS) Info() Info {
+	return Info{
+		Name: "DFS", Full: "Depth-first search", Category: GraphTraversal,
+		Applicable:    true,
+		OffloadTarget: "lock cmpxchg", PIMAtomic: "CAS if equal",
+	}
+}
+
+// DFSOutput is the functional result: which thread claimed each vertex.
+type DFSOutput struct {
+	Owner []uint64
+}
+
+// Run implements Workload.
+func (w *DFS) Run(f *gframe.Framework) Result {
+	g := f.Graph()
+	owner := f.AllocProperty("dfs.owner", 8)
+	owner.Fill(Infinity)
+
+	var edges uint64
+	ranges := gframe.BalancedRanges(g, f.NumThreads())
+	for t := 0; t < f.NumThreads(); t++ {
+		c := f.Thread(t)
+		var stack []graph.VID
+		for v := ranges[t][0]; v < ranges[t][1]; v++ {
+			c.Compute(1)
+			if owner.U64(graph.VID(v)) != Infinity {
+				continue
+			}
+			if !c.CAS(owner, graph.VID(v), Infinity, uint64(t)) {
+				continue
+			}
+			stack = append(stack[:0], graph.VID(v))
+			for len(stack) > 0 {
+				u := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				c.QueuePop(len(stack))
+				c.BeginVertex(u)
+				c.OutEdges(u, func(n graph.VID, _ uint32) {
+					edges++
+					if owner.U64(n) == Infinity && c.CAS(owner, n, Infinity, uint64(t)) {
+						stack = append(stack, n)
+						c.QueuePush(len(stack))
+					}
+				})
+			}
+		}
+	}
+	f.Barrier()
+	return Result{Output: DFSOutput{Owner: owner.Snapshot()}, EdgesVisited: edges}
+}
+
+// ---------------------------------------------------------------------------
+// Degree centrality
+
+// DC computes degree centrality: each thread scans its vertices' out-edges
+// and atomically increments the destination's in-degree counter (the
+// "lock addw" target of Table II), combining with the locally known
+// out-degree.
+type DC struct{}
+
+// NewDC returns a DC workload.
+func NewDC() *DC { return &DC{} }
+
+// Info implements Workload.
+func (*DC) Info() Info {
+	return Info{
+		Name: "DC", Full: "Degree centrality", Category: GraphTraversal,
+		Applicable:    true,
+		OffloadTarget: "lock addw", PIMAtomic: "Signed add",
+	}
+}
+
+// DCOutput is the functional result: in+out degree per vertex.
+type DCOutput struct {
+	Centrality []uint64
+}
+
+// Run implements Workload.
+func (w *DC) Run(f *gframe.Framework) Result {
+	g := f.Graph()
+	dc := f.AllocProperty("dc.centrality", 8)
+
+	var edges uint64
+	ranges := gframe.BalancedRanges(g, f.NumThreads())
+	for t := 0; t < f.NumThreads(); t++ {
+		c := f.Thread(t)
+		for v := ranges[t][0]; v < ranges[t][1]; v++ {
+			u := graph.VID(v)
+			deg := c.BeginVertex(u)
+			// Own out-degree: one posted atomic add.
+			c.AtomicAdd(dc, u, int64(deg))
+			c.OutEdges(u, func(n graph.VID, _ uint32) {
+				edges++
+				c.AtomicAdd(dc, n, 1)
+			})
+		}
+	}
+	f.Barrier()
+	return Result{Output: DCOutput{Centrality: dc.Snapshot()}, EdgesVisited: edges}
+}
+
+// ---------------------------------------------------------------------------
+// Shortest path
+
+// SSSP is a frontier-based single-source shortest path: relaxations lower
+// the neighbor's distance with an atomic-min (a compiler-generated CAS
+// block on the host, CAS-if-less in the HMC).
+type SSSP struct {
+	source graph.VID
+}
+
+// NewSSSP returns an SSSP from source.
+func NewSSSP(source graph.VID) *SSSP { return &SSSP{source: source} }
+
+// Info implements Workload.
+func (*SSSP) Info() Info {
+	return Info{
+		Name: "SSSP", Full: "Shortest path", Category: GraphTraversal,
+		Applicable:    true,
+		OffloadTarget: "lock cmpxchg", PIMAtomic: "CAS if equal",
+	}
+}
+
+// SSSPOutput is the functional result: distance per vertex.
+type SSSPOutput struct {
+	Dist []uint64
+}
+
+// Run implements Workload.
+func (w *SSSP) Run(f *gframe.Framework) Result {
+	dist := f.AllocProperty("sssp.dist", 8)
+	dist.Fill(Infinity)
+	dist.SetU64(w.source, 0)
+
+	var edges uint64
+	frontiers := perThreadFrontiers(f.Graph(), []graph.VID{w.source}, f.NumThreads())
+	for round := 0; ; round++ {
+		next := make([][]graph.VID, f.NumThreads())
+		inNext := make(map[graph.VID]bool)
+		any := false
+		for t := 0; t < f.NumThreads(); t++ {
+			c := f.Thread(t)
+			for qi, u := range frontiers[t] {
+				c.QueuePop(qi)
+				c.BeginVertex(u)
+				du := c.LoadU64(dist, u, false)
+				c.OutEdges(u, func(v graph.VID, wgt uint32) {
+					edges++
+					nd := du + uint64(wgt)
+					if c.AtomicMin(dist, v, nd) && !inNext[v] {
+						inNext[v] = true
+						next[t] = append(next[t], v)
+						c.QueuePush(len(next[t]))
+					}
+				})
+			}
+			if len(next[t]) > 0 {
+				any = true
+			}
+		}
+		f.Barrier()
+		if !any {
+			break
+		}
+		frontiers = rebalance(f, next)
+	}
+	return Result{Output: SSSPOutput{Dist: dist.Snapshot()}, EdgesVisited: edges}
+}
+
+// ---------------------------------------------------------------------------
+// k-core decomposition
+
+// KCore computes the k-core decomposition: for k = 1, 2, ... it peels
+// vertices whose effective degree falls below k, assigning each vertex
+// its core number. Every peeling round rescans the whole vertex set
+// (checking mostly inactive vertices — where the paper observes kCore
+// spends its time), so the atomic degree decrements are a small fraction
+// of the work and PIM offloading brings little benefit.
+type KCore struct {
+	k uint64
+}
+
+// NewKCore returns a k-core decomposition truncated at maxK levels
+// (0 = full decomposition).
+func NewKCore(maxK uint64) *KCore { return &KCore{k: maxK} }
+
+// Info implements Workload.
+func (*KCore) Info() Info {
+	return Info{
+		Name: "kCore", Full: "K-core decomposition", Category: GraphTraversal,
+		Applicable:    true,
+		OffloadTarget: "lock subw", PIMAtomic: "Signed add",
+	}
+}
+
+// KCoreOutput is the functional result: the core number of each vertex
+// (the largest k such that the vertex belongs to the k-core).
+type KCoreOutput struct {
+	CoreNumber []uint64
+}
+
+// Run implements Workload.
+func (w *KCore) Run(f *gframe.Framework) Result {
+	g := f.Graph()
+	n := g.NumVertices()
+	deg := f.AllocProperty("kcore.degree", 8)
+	for v := 0; v < n; v++ {
+		deg.SetU64(graph.VID(v), uint64(g.OutDegree(graph.VID(v))+g.InDegree(graph.VID(v))))
+	}
+	removed := make([]bool, n)
+	core := make([]uint64, n)
+	remaining := n
+
+	var edges uint64
+	ranges := gframe.BalancedRanges(g, f.NumThreads())
+	for k := uint64(1); remaining > 0 && (w.k == 0 || k <= w.k); k++ {
+		for {
+			changed := false
+			for t := 0; t < f.NumThreads(); t++ {
+				c := f.Thread(t)
+				for v := ranges[t][0]; v < ranges[t][1]; v++ {
+					u := graph.VID(v)
+					// The scan: every sweep checks every vertex's
+					// active flag in its header — checking inactive
+					// vertices is where kCore spends its time
+					// (Section IV-B1). Only active, sub-k vertices
+					// touch the degree property.
+					c.VertexStatus(u)
+					if removed[v] {
+						continue
+					}
+					if c.LoadU64(deg, u, false) >= k {
+						continue
+					}
+					removed[v] = true
+					core[v] = k - 1
+					remaining--
+					changed = true
+					c.BeginVertex(u)
+					c.OutEdges(u, func(nb graph.VID, _ uint32) {
+						edges++
+						if !removed[nb] {
+							c.AtomicAdd(deg, nb, -1)
+						}
+					})
+					c.InEdges(u, func(nb graph.VID) {
+						edges++
+						if !removed[nb] {
+							c.AtomicAdd(deg, nb, -1)
+						}
+					})
+				}
+			}
+			f.Barrier()
+			if !changed {
+				break
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if !removed[v] {
+			core[v] = w.k // truncated decomposition: at least maxK
+		}
+	}
+	return Result{Output: KCoreOutput{CoreNumber: core}, EdgesVisited: edges}
+}
+
+// ---------------------------------------------------------------------------
+// Connected component
+
+// CComp computes connected components by min-label propagation over the
+// undirected view of the graph: each edge lowers the neighbor's label via
+// an atomic-min until a fixed point.
+type CComp struct{}
+
+// NewCComp returns a CComp workload.
+func NewCComp() *CComp { return &CComp{} }
+
+// Info implements Workload.
+func (*CComp) Info() Info {
+	return Info{
+		Name: "CComp", Full: "Connected component", Category: GraphTraversal,
+		Applicable:    true,
+		OffloadTarget: "lock cmpxchg", PIMAtomic: "CAS if equal",
+	}
+}
+
+// CCompOutput is the functional result: component label per vertex.
+type CCompOutput struct {
+	Label []uint64
+}
+
+// Run implements Workload.
+func (w *CComp) Run(f *gframe.Framework) Result {
+	g := f.Graph()
+	n := g.NumVertices()
+	label := f.AllocProperty("ccomp.label", 8)
+	for v := 0; v < n; v++ {
+		label.SetU64(graph.VID(v), uint64(v))
+	}
+
+	var edges uint64
+	ranges := gframe.BalancedRanges(g, f.NumThreads())
+	for {
+		changed := false
+		for t := 0; t < f.NumThreads(); t++ {
+			c := f.Thread(t)
+			for v := ranges[t][0]; v < ranges[t][1]; v++ {
+				u := graph.VID(v)
+				c.BeginVertex(u)
+				lu := c.LoadU64(label, u, false)
+				c.OutEdges(u, func(nb graph.VID, _ uint32) {
+					edges++
+					if c.AtomicMin(label, nb, lu) {
+						changed = true
+					}
+				})
+				c.InEdges(u, func(nb graph.VID) {
+					edges++
+					if c.AtomicMin(label, nb, lu) {
+						changed = true
+					}
+				})
+			}
+		}
+		f.Barrier()
+		if !changed {
+			break
+		}
+	}
+	return Result{Output: CCompOutput{Label: label.Snapshot()}, EdgesVisited: edges}
+}
+
+// ---------------------------------------------------------------------------
+// Betweenness centrality
+
+// BC approximates betweenness centrality with Brandes' algorithm from a
+// sample of source vertices. Path counting and dependency accumulation
+// need floating-point atomic adds (inapplicable without the paper's FP
+// extension), and a large share of the work is on thread-local data
+// structures, which is why PIM helps it less.
+type BC struct {
+	sources int
+}
+
+// NewBC returns a BC workload sampling the given number of sources.
+func NewBC(sources int) *BC { return &BC{sources: sources} }
+
+// Info implements Workload.
+func (*BC) Info() Info {
+	return Info{
+		Name: "BC", Full: "Betweenness centrality", Category: GraphTraversal,
+		NeedsFPExtension: true,
+		MissingOp:        "Floating point add",
+		OffloadTarget:    "fp-add block", PIMAtomic: "FP add (ext)",
+	}
+}
+
+// BCOutput is the functional result: centrality score per vertex.
+type BCOutput struct {
+	Centrality []float64
+}
+
+// Run implements Workload.
+func (w *BC) Run(f *gframe.Framework) Result {
+	g := f.Graph()
+	n := g.NumVertices()
+	sigma := f.AllocProperty("bc.sigma", 8)
+	delta := f.AllocProperty("bc.delta", 8)
+	score := make([]float64, n)
+
+	var edges uint64
+	srcCount := w.sources
+	if srcCount > n {
+		srcCount = n
+	}
+	for s := 0; s < srcCount; s++ {
+		src := graph.VID((s * 7919) % n)
+		sigma.Fill(0)
+		delta.Fill(0)
+		sigma.SetF64(src, 1)
+
+		// Forward phase: level-synchronized BFS accumulating path counts.
+		depth := make([]int, n)
+		for i := range depth {
+			depth[i] = -1
+		}
+		depth[src] = 0
+		levels := [][]graph.VID{{src}}
+		for d := 0; ; d++ {
+			frontiers := perThreadFrontiers(g, levels[d], f.NumThreads())
+			var next []graph.VID
+			for t := 0; t < f.NumThreads(); t++ {
+				c := f.Thread(t)
+				for _, u := range frontiers[t] {
+					c.BeginVertex(u)
+					su := c.LoadF64(sigma, u, false)
+					c.OutEdges(u, func(v graph.VID, _ uint32) {
+						edges++
+						if depth[v] == -1 {
+							depth[v] = d + 1
+							next = append(next, v)
+							c.QueuePush(len(next))
+						}
+						if depth[v] == d+1 {
+							c.AtomicAddF64(sigma, v, su)
+						}
+					})
+				}
+			}
+			f.Barrier()
+			if len(next) == 0 {
+				break
+			}
+			levels = append(levels, next)
+		}
+
+		// Backward phase: dependency accumulation, deepest level first.
+		for d := len(levels) - 1; d > 0; d-- {
+			frontiers := perThreadFrontiers(g, levels[d], f.NumThreads())
+			for t := 0; t < f.NumThreads(); t++ {
+				c := f.Thread(t)
+				for _, v := range frontiers[t] {
+					c.BeginVertexIn(v)
+					sv := c.LoadF64(sigma, v, false)
+					dv := c.LoadF64(delta, v, false)
+					// Thread-local centrality computation (the paper
+					// notes BC is dominated by this).
+					c.Compute(48)
+					c.InEdges(v, func(u graph.VID) {
+						edges++
+						if depth[u] == depth[v]-1 && sv > 0 {
+							su := sigma.F64(u)
+							// Dependency accumulation goes into a
+							// thread-local buffer (GraphBIG merges
+							// per-thread partials), so this is local
+							// compute + a meta store, not a shared
+							// atomic — the reason BC benefits little
+							// from PIM offloading.
+							c.LoadF64(sigma, u, true)
+							c.DependentCompute(6)
+							c.QueuePush(int(u) & 1023)
+							delta.SetF64(u, delta.F64(u)+su/sv*(1+dv))
+						}
+					})
+					if v != src {
+						score[v] += dv
+					}
+				}
+			}
+			f.Barrier()
+		}
+	}
+	return Result{Output: BCOutput{Centrality: score}, EdgesVisited: edges}
+}
+
+// ---------------------------------------------------------------------------
+// PageRank
+
+// PRank is push-style PageRank: each iteration, every vertex scatters its
+// contribution to its out-neighbors with floating-point atomic adds
+// (inapplicable without the FP extension), then a vertex-local pass
+// applies the damping factor.
+type PRank struct {
+	iterations int
+}
+
+// NewPRank returns a PageRank running the given number of iterations.
+func NewPRank(iterations int) *PRank { return &PRank{iterations: iterations} }
+
+// Info implements Workload.
+func (*PRank) Info() Info {
+	return Info{
+		Name: "PRank", Full: "Page rank", Category: GraphTraversal,
+		NeedsFPExtension: true,
+		MissingOp:        "Floating point add",
+		OffloadTarget:    "fp-add block", PIMAtomic: "FP add (ext)",
+	}
+}
+
+// PRankOutput is the functional result: rank per vertex.
+type PRankOutput struct {
+	Rank []float64
+}
+
+// Damping is the PageRank damping factor.
+const Damping = 0.85
+
+// Run implements Workload.
+func (w *PRank) Run(f *gframe.Framework) Result {
+	g := f.Graph()
+	n := g.NumVertices()
+	rank := f.AllocProperty("prank.rank", 8)
+	next := f.AllocProperty("prank.next", 8)
+	rank.FillF64(1 / float64(n))
+
+	var edges uint64
+	ranges := gframe.BalancedRanges(g, f.NumThreads())
+	for it := 0; it < w.iterations; it++ {
+		next.FillF64(0)
+		for t := 0; t < f.NumThreads(); t++ {
+			c := f.Thread(t)
+			for v := ranges[t][0]; v < ranges[t][1]; v++ {
+				u := graph.VID(v)
+				deg := c.BeginVertex(u)
+				if deg == 0 {
+					continue
+				}
+				contrib := c.LoadF64(rank, u, false) / float64(deg)
+				c.OutEdges(u, func(nb graph.VID, _ uint32) {
+					edges++
+					c.AtomicAddF64(next, nb, contrib)
+				})
+			}
+		}
+		f.Barrier()
+		// Damping pass: vertex-local, no atomics.
+		for t := 0; t < f.NumThreads(); t++ {
+			c := f.Thread(t)
+			for v := ranges[t][0]; v < ranges[t][1]; v++ {
+				u := graph.VID(v)
+				x := c.LoadF64(next, u, false)
+				c.DependentCompute(3)
+				c.StoreF64(rank, u, (1-Damping)/float64(n)+Damping*x)
+			}
+		}
+		f.Barrier()
+	}
+	return Result{Output: PRankOutput{Rank: snapshotF64(rank, n)}, EdgesVisited: edges}
+}
+
+func snapshotF64(p *gframe.Property, n int) []float64 {
+	out := make([]float64, n)
+	for v := 0; v < n; v++ {
+		out[v] = p.F64(graph.VID(v))
+	}
+	return out
+}
