@@ -1,0 +1,18 @@
+GO ?= go
+
+.PHONY: build test race bench
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+# race validates the parallel experiment engine's frozen-trace/space
+# design: memoized cells replay shared immutable inputs from many
+# goroutines, and the detector must stay silent.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' ./...

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+
+	"graphpim/internal/sim"
 )
 
 var (
@@ -108,6 +110,39 @@ func BenchmarkFig16ModelValidation(b *testing.B) { benchExperiment(b, "fig16-mod
 
 // Figure 17: real-world application performance and energy.
 func BenchmarkFig17RealWorld(b *testing.B) { benchExperiment(b, "fig17-realworld") }
+
+// BenchmarkStatsHotPath compares the per-cycle counter-update paths: the
+// string-keyed Stats API (map lookup + string hashing per bump, plus a
+// concat for region-qualified names) against the pre-resolved Counter
+// handles the timing models now use in their tick loops.
+func BenchmarkStatsHotPath(b *testing.B) {
+	regions := []string{"meta", "struct", "property"}
+	b.Run("string-keyed", func(b *testing.B) {
+		st := sim.NewStats()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			st.Inc("cpu.cycles.active")
+			st.Add("cpu.retired", 2)
+			st.Inc("mem.loads." + regions[i%3])
+		}
+	})
+	b.Run("handle", func(b *testing.B) {
+		st := sim.NewStats()
+		active := st.Counter("cpu.cycles.active")
+		retired := st.Counter("cpu.retired")
+		loads := [3]sim.Counter{
+			st.Counter("mem.loads.meta"),
+			st.Counter("mem.loads.struct"),
+			st.Counter("mem.loads.property"),
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			active.Inc()
+			retired.Add(2)
+			loads[i%3].Inc()
+		}
+	})
+}
 
 // BenchmarkSimulatorThroughput measures raw simulation speed: simulated
 // instructions per wall second on a BFS trace, independent of the

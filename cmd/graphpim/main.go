@@ -15,9 +15,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"sort"
 	"time"
 
 	"graphpim"
@@ -65,6 +69,7 @@ run/workload flags:
   -quick           small-scale environment (fast)
   -vertices N      LDBC graph size (default 16384)
   -seed S          generator seed (default 7)
+  -j N             parallel workers for simulation cells (default: all CPUs)
   -config C        workload config: baseline|upei|graphpim (workload cmd)`)
 }
 
@@ -100,6 +105,7 @@ func cmdRun(args []string) {
 	vertices := fs.Int("vertices", 0, "LDBC graph size override")
 	seed := fs.Uint64("seed", 0, "generator seed override")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	workers := fs.Int("j", runtime.NumCPU(), "parallel workers for simulation cells")
 	_ = fs.Parse(args)
 	ids := fs.Args()
 	if len(ids) == 0 {
@@ -107,6 +113,7 @@ func cmdRun(args []string) {
 		os.Exit(2)
 	}
 	env := makeEnv(*quick, *vertices, *seed)
+	env.Parallelism = *workers
 
 	var exps []graphpim.Experiment
 	if len(ids) == 1 && ids[0] == "all" {
@@ -121,15 +128,42 @@ func cmdRun(args []string) {
 			exps = append(exps, ex)
 		}
 	}
-	for _, ex := range exps {
+	runExperiments(os.Stdout, env, exps, *csv, !*csv)
+}
+
+// experimentOutput is one experiment's rendered table, tagged with its
+// position in the requested experiment list.
+type experimentOutput struct {
+	index   int
+	ex      graphpim.Experiment
+	table   *graphpim.Table
+	elapsed time.Duration
+}
+
+// runExperiments executes exps against env and writes every table to w in
+// list (registry) order. The parallel engine may complete an experiment's
+// simulation cells in any order, so outputs are collected tagged with
+// their list index and stable-sorted by it before printing — the rendered
+// stream is identical at any -j.
+func runExperiments(w io.Writer, env *graphpim.Env, exps []graphpim.Experiment, csv, timings bool) {
+	outputs := make([]experimentOutput, 0, len(exps))
+	for i, ex := range exps {
 		start := time.Now()
-		tb := ex.Run(env)
-		fmt.Printf("# %s (%s) — %s\n", ex.ID, ex.Paper, ex.Title)
-		if *csv {
-			fmt.Println(tb.CSV())
+		tb := env.RunExperiment(context.Background(), ex)
+		outputs = append(outputs, experimentOutput{
+			index: i, ex: ex, table: tb, elapsed: time.Since(start),
+		})
+	}
+	sort.SliceStable(outputs, func(a, b int) bool { return outputs[a].index < outputs[b].index })
+	for _, out := range outputs {
+		fmt.Fprintf(w, "# %s (%s) — %s\n", out.ex.ID, out.ex.Paper, out.ex.Title)
+		if csv {
+			fmt.Fprintln(w, out.table.CSV())
 		} else {
-			fmt.Println(tb.String())
-			fmt.Printf("(%s)\n\n", time.Since(start).Round(time.Millisecond))
+			fmt.Fprintln(w, out.table.String())
+			if timings {
+				fmt.Fprintf(w, "(%s)\n\n", out.elapsed.Round(time.Millisecond))
+			}
 		}
 	}
 }

@@ -1,6 +1,13 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+
+	"graphpim"
+)
 
 func TestMakeEnv(t *testing.T) {
 	e := makeEnv(true, 0, 0)
@@ -14,5 +21,54 @@ func TestMakeEnv(t *testing.T) {
 	e = makeEnv(false, 4096, 99)
 	if e.Vertices != 4096 || e.AppVertices != 4096 || e.Seed != 99 {
 		t.Fatalf("overrides ignored: %+v", e)
+	}
+}
+
+func testCLIEnv(workers int) *graphpim.Env {
+	env := graphpim.QuickEnv()
+	env.Vertices = 512
+	env.AppVertices = 512
+	env.SweepSizes = []int{512}
+	env.Parallelism = workers
+	return env
+}
+
+// TestRunExperimentsRegistryOrder checks the run command's output
+// contract: experiment tables print in the requested (registry) order and
+// are byte-identical at any -j, even though the parallel engine completes
+// simulation cells out of order.
+func TestRunExperimentsRegistryOrder(t *testing.T) {
+	exps := []graphpim.Experiment{}
+	// A mix of static tables and a simulating experiment, deliberately
+	// not in registry order.
+	for _, id := range []string{"ext-dependent-block", "table3-applicability", "table1-hmc-atomics"} {
+		ex, err := graphpim.ExperimentByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exps = append(exps, ex)
+	}
+
+	render := func(workers int) string {
+		var buf bytes.Buffer
+		runExperiments(&buf, testCLIEnv(workers), exps, false, false)
+		return buf.String()
+	}
+	serial := render(1)
+	parallel := render(8)
+
+	if serial != parallel {
+		t.Fatalf("output differs between -j 1 and -j 8:\n--- j1 ---\n%s\n--- j8 ---\n%s", serial, parallel)
+	}
+	var positions []int
+	for _, ex := range exps {
+		pos := strings.Index(parallel, "# "+ex.ID+" ")
+		if pos < 0 {
+			t.Fatalf("experiment %s missing from output", ex.ID)
+		}
+		positions = append(positions, pos)
+	}
+	if !sort.IntsAreSorted(positions) {
+		t.Fatalf("experiments printed out of requested order: positions %v\n%s", positions, parallel)
 	}
 }

@@ -1,9 +1,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"graphpim"
@@ -19,9 +21,11 @@ func cmdReport(args []string) {
 	seed := fs.Uint64("seed", 0, "generator seed override")
 	out := fs.String("o", "report.md", "output file")
 	extras := fs.Bool("extras", true, "include extension experiments")
+	workers := fs.Int("j", runtime.NumCPU(), "parallel workers for simulation cells")
 	_ = fs.Parse(args)
 
 	env := makeEnv(*quick, *vertices, *seed)
+	env.Parallelism = *workers
 	f, err := os.Create(*out)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -37,7 +41,7 @@ func cmdReport(args []string) {
 		fmt.Fprintf(f, "## %s\n\n", heading)
 		for _, ex := range exps {
 			start := time.Now()
-			tb := ex.Run(env)
+			tb := env.RunExperiment(context.Background(), ex)
 			fmt.Fprintf(os.Stderr, "%-24s done in %s\n", ex.ID, time.Since(start).Round(time.Millisecond))
 			fmt.Fprintf(f, "### %s (%s)\n\n%s\n\n```\n%s```\n\n", ex.ID, ex.Paper, ex.Title, tb.String())
 		}

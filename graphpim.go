@@ -20,6 +20,7 @@
 package graphpim
 
 import (
+	"context"
 	"fmt"
 
 	"graphpim/internal/analytic"
@@ -247,7 +248,9 @@ func ComputeEnergy(res Result, cacheMB float64) EnergyBreakdown {
 }
 
 // RunExperiment executes one experiment against env (nil means
-// DefaultEnv) and returns its table.
+// DefaultEnv) and returns its table. The run uses env.Parallelism workers
+// to fan the experiment's simulation cells across goroutines; the table
+// is byte-for-byte identical at any worker count.
 func RunExperiment(id string, env *Env) (*Table, error) {
 	ex, err := harness.ByID(id)
 	if err != nil {
@@ -256,5 +259,5 @@ func RunExperiment(id string, env *Env) (*Table, error) {
 	if env == nil {
 		env = harness.DefaultEnv()
 	}
-	return ex.Run(env), nil
+	return env.RunExperiment(context.Background(), ex), nil
 }

@@ -90,11 +90,60 @@ type AccessResult struct {
 	CoherenceExtra uint64
 }
 
+// hierCounters holds pre-resolved stat handles for the per-access paths
+// (see sim.Stats.Counter — no map lookups on the hot path).
+type hierCounters struct {
+	l1Access, l1Hit, l1Miss sim.Counter
+	l2Access, l2Hit, l2Miss sim.Counter
+	l3Access, l3Hit, l3Miss sim.Counter
+
+	upgrades      sim.Counter
+	c2c           sim.Counter
+	invalidations sim.Counter
+	l1BackInval   sim.Counter
+	l3BackInval   sim.Counter
+
+	memReads   sim.Counter
+	writebacks sim.Counter
+
+	pfIssued    sim.Counter
+	pfRedundant sim.Counter
+	pfUseful    sim.Counter
+}
+
+func resolveHierCounters(stats *sim.Stats) hierCounters {
+	return hierCounters{
+		l1Access: stats.Counter("cache.l1.access"),
+		l1Hit:    stats.Counter("cache.l1.hit"),
+		l1Miss:   stats.Counter("cache.l1.miss"),
+		l2Access: stats.Counter("cache.l2.access"),
+		l2Hit:    stats.Counter("cache.l2.hit"),
+		l2Miss:   stats.Counter("cache.l2.miss"),
+		l3Access: stats.Counter("cache.l3.access"),
+		l3Hit:    stats.Counter("cache.l3.hit"),
+		l3Miss:   stats.Counter("cache.l3.miss"),
+
+		upgrades:      stats.Counter("cache.coherence.upgrades"),
+		c2c:           stats.Counter("cache.coherence.c2c"),
+		invalidations: stats.Counter("cache.coherence.invalidations"),
+		l1BackInval:   stats.Counter("cache.inclusion.l1_backinval"),
+		l3BackInval:   stats.Counter("cache.inclusion.l3_backinval"),
+
+		memReads:   stats.Counter("cache.mem.reads"),
+		writebacks: stats.Counter("cache.mem.writebacks"),
+
+		pfIssued:    stats.Counter("cache.prefetch.issued"),
+		pfRedundant: stats.Counter("cache.prefetch.redundant"),
+		pfUseful:    stats.Counter("cache.prefetch.useful"),
+	}
+}
+
 // Hierarchy is the full multi-core cache system.
 type Hierarchy struct {
 	cfg     Config
 	backend Backend
 	stats   *sim.Stats
+	ctr     hierCounters
 
 	l1, l2 []*array // per core
 	l3     *array
@@ -108,7 +157,7 @@ func New(cfg Config, backend Backend, stats *sim.Stats) *Hierarchy {
 	if cfg.NumCores > 32 {
 		panic("cache: directory bitmask supports at most 32 cores")
 	}
-	h := &Hierarchy{cfg: cfg, backend: backend, stats: stats}
+	h := &Hierarchy{cfg: cfg, backend: backend, stats: stats, ctr: resolveHierCounters(stats)}
 	for c := 0; c < cfg.NumCores; c++ {
 		h.l1 = append(h.l1, newArray(cfg.L1Size, cfg.L1Ways, cfg.LineSize))
 		h.l2 = append(h.l2, newArray(cfg.L2Size, cfg.L2Ways, cfg.LineSize))
@@ -144,7 +193,7 @@ func (h *Hierarchy) invalidateSharers(l3l *line, keep int) {
 		if h.dropPrivate(c, l3l.tag) {
 			l3l.dirty = true
 		}
-		h.stats.Inc("cache.coherence.invalidations")
+		h.ctr.invalidations.Inc()
 	}
 	l3l.sharers &= bit(keep)
 	if l3l.owner != int8(keep) {
@@ -173,7 +222,7 @@ func (h *Hierarchy) evictL2(core int, ev line) {
 	}
 	dirty := ev.dirty
 	if old, was := h.l1[core].invalidate(ev.tag); was {
-		h.stats.Inc("cache.inclusion.l1_backinval")
+		h.ctr.l1BackInval.Inc()
 		if old.dirty {
 			dirty = true
 		}
@@ -203,10 +252,10 @@ func (h *Hierarchy) evictL3(ev line, now uint64) {
 		if h.dropPrivate(c, ev.tag) {
 			dirty = true
 		}
-		h.stats.Inc("cache.inclusion.l3_backinval")
+		h.ctr.l3BackInval.Inc()
 	}
 	if dirty {
-		h.stats.Inc("cache.mem.writebacks")
+		h.ctr.writebacks.Inc()
 		h.backend.WriteLine(ev.tag, now)
 	}
 }
@@ -224,12 +273,12 @@ func (h *Hierarchy) Access(core int, addr memmap.Addr, write bool, now uint64) A
 	lineAddr := memmap.LineAddr(addr)
 	res := AccessResult{}
 	res.Latency = h.cfg.L1Lat
-	h.stats.Inc("cache.l1.access")
+	h.ctr.l1Access.Inc()
 
 	// L1 lookup.
 	if l := h.l1[core].lookup(lineAddr); l != nil {
 		h.l1[core].touch(l)
-		h.stats.Inc("cache.l1.hit")
+		h.ctr.l1Hit.Inc()
 		if !write {
 			res.Level = LevelL1
 			res.WalkLatency = res.Latency
@@ -252,7 +301,7 @@ func (h *Hierarchy) Access(core int, addr memmap.Addr, write bool, now uint64) A
 		up := h.cfg.L2Lat + h.cfg.L3Lat
 		res.Latency += up
 		res.CoherenceExtra += up
-		h.stats.Inc("cache.coherence.upgrades")
+		h.ctr.upgrades.Inc()
 		if l3l := h.l3.lookup(lineAddr); l3l != nil {
 			h.invalidateSharers(l3l, core)
 			l3l.owner = int8(core)
@@ -267,21 +316,21 @@ func (h *Hierarchy) Access(core int, addr memmap.Addr, write bool, now uint64) A
 		res.WalkLatency = res.Latency
 		return res
 	}
-	h.stats.Inc("cache.l1.miss")
+	h.ctr.l1Miss.Inc()
 
 	// L2 lookup.
 	res.Latency += h.cfg.L2Lat
-	h.stats.Inc("cache.l2.access")
+	h.ctr.l2Access.Inc()
 	if l := h.l2[core].lookup(lineAddr); l != nil {
 		h.l2[core].touch(l)
-		h.stats.Inc("cache.l2.hit")
+		h.ctr.l2Hit.Inc()
 		st := l.st
 		if write {
 			if st == stShared {
 				up := h.cfg.L3Lat
 				res.Latency += up
 				res.CoherenceExtra += up
-				h.stats.Inc("cache.coherence.upgrades")
+				h.ctr.upgrades.Inc()
 				if l3l := h.l3.lookup(lineAddr); l3l != nil {
 					h.invalidateSharers(l3l, core)
 					l3l.owner = int8(core)
@@ -299,30 +348,30 @@ func (h *Hierarchy) Access(core int, addr memmap.Addr, write bool, now uint64) A
 		res.WalkLatency = res.Latency
 		return res
 	}
-	h.stats.Inc("cache.l2.miss")
+	h.ctr.l2Miss.Inc()
 
 	// L3 lookup.
 	res.Latency += h.cfg.L3Lat
-	h.stats.Inc("cache.l3.access")
+	h.ctr.l3Access.Inc()
 	if l3l := h.l3.lookup(lineAddr); l3l != nil {
 		h.l3.touch(l3l)
-		h.stats.Inc("cache.l3.hit")
+		h.ctr.l3Hit.Inc()
 		if l3l.prefetched {
 			l3l.prefetched = false
-			h.stats.Inc("cache.prefetch.useful")
+			h.ctr.pfUseful.Inc()
 		}
 		// Remote owner: cache-to-cache transfer.
 		if l3l.owner >= 0 && int(l3l.owner) != core {
 			res.Latency += h.cfg.L3Lat
 			res.CoherenceExtra += h.cfg.L3Lat
-			h.stats.Inc("cache.coherence.c2c")
+			h.ctr.c2c.Inc()
 			oc := int(l3l.owner)
 			if write {
 				if h.dropPrivate(oc, lineAddr) {
 					l3l.dirty = true
 				}
 				l3l.sharers &^= bit(oc)
-				h.stats.Inc("cache.coherence.invalidations")
+				h.ctr.invalidations.Inc()
 			} else {
 				// Downgrade owner to Shared; dirty data merges to L3.
 				if ol := h.l1[oc].lookup(lineAddr); ol != nil {
@@ -363,11 +412,11 @@ func (h *Hierarchy) Access(core int, addr memmap.Addr, write bool, now uint64) A
 		res.WalkLatency = res.Latency
 		return res
 	}
-	h.stats.Inc("cache.l3.miss")
+	h.ctr.l3Miss.Inc()
 
 	// Memory fetch.
 	res.WalkLatency = res.Latency
-	h.stats.Inc("cache.mem.reads")
+	h.ctr.memReads.Inc()
 	memLat := h.backend.ReadLine(lineAddr, now+res.Latency)
 	res.Latency += memLat
 	if h.cfg.Prefetch.Depth > 0 {

@@ -23,11 +23,11 @@ func (h *Hierarchy) prefetch(lineAddr memmap.Addr, now uint64) {
 	for i := 1; i <= h.cfg.Prefetch.Depth; i++ {
 		next := lineAddr + memmap.Addr(i*h.cfg.LineSize)
 		if h.l3.lookup(next) != nil {
-			h.stats.Inc("cache.prefetch.redundant")
+			h.ctr.pfRedundant.Inc()
 			continue
 		}
-		h.stats.Inc("cache.prefetch.issued")
-		h.stats.Inc("cache.mem.reads")
+		h.ctr.pfIssued.Inc()
+		h.ctr.memReads.Inc()
 		// The fill occupies the memory system but nothing waits on it.
 		h.backend.ReadLine(next, now)
 		ev := h.l3.install(next, stInvalid, false)

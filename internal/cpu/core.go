@@ -158,12 +158,52 @@ type robEntry struct {
 	doneAt uint64
 }
 
+// coreCounters holds pre-resolved stat handles for the per-cycle paths.
+// Resolving once at construction keeps Tick free of map lookups and
+// string hashing (see sim.Stats.Counter).
+type coreCounters struct {
+	retired    sim.Counter
+	dispatched sim.Counter
+	frontend   sim.Counter
+	badspec    sim.Counter
+	depWait    sim.Counter
+
+	atomicDrain   sim.Counter
+	atomicInCore  sim.Counter
+	atomicInCache sim.Counter
+
+	// cycles is indexed by StallReason; StallNone maps to active cycles.
+	cycles [StallDone + 1]sim.Counter
+}
+
+func resolveCoreCounters(stats *sim.Stats) coreCounters {
+	c := coreCounters{
+		retired:       stats.Counter("cpu.retired"),
+		dispatched:    stats.Counter("cpu.dispatched"),
+		frontend:      stats.Counter("cpu.frontend_cycles"),
+		badspec:       stats.Counter("cpu.badspec_cycles"),
+		depWait:       stats.Counter("cpu.cycles.dep_wait"),
+		atomicDrain:   stats.Counter("cpu.atomic.drain_cycles"),
+		atomicInCore:  stats.Counter("cpu.atomic.incore_cycles"),
+		atomicInCache: stats.Counter("cpu.atomic.incache_cycles"),
+	}
+	c.cycles[StallNone] = stats.Counter("cpu.cycles.active")
+	c.cycles[StallROBFull] = stats.Counter("cpu.cycles.stall_rob")
+	c.cycles[StallWBFull] = stats.Counter("cpu.cycles.stall_wb")
+	c.cycles[StallMSHR] = stats.Counter("cpu.cycles.stall_mshr")
+	c.cycles[StallFrozen] = stats.Counter("cpu.cycles.frozen")
+	c.cycles[StallBarrier] = stats.Counter("cpu.cycles.barrier")
+	c.cycles[StallDrainOut] = stats.Counter("cpu.cycles.drain_out")
+	c.cycles[StallDone] = stats.Counter("cpu.cycles.idle_done")
+	return c
+}
+
 // Core is one simulated out-of-order core.
 type Core struct {
-	id    int
-	cfg   Config
-	mem   MemorySystem
-	stats *sim.Stats
+	id  int
+	cfg Config
+	mem MemorySystem
+	ctr coreCounters
 
 	stream      []trace.Instr
 	pc          int
@@ -197,7 +237,7 @@ func NewCore(id int, cfg Config, mem MemorySystem, stream []trace.Instr, stats *
 		id:     id,
 		cfg:    cfg,
 		mem:    mem,
-		stats:  stats,
+		ctr:    resolveCoreCounters(stats),
 		stream: stream,
 		rob:    make([]robEntry, 0, cfg.ROBSize),
 	}
@@ -217,7 +257,7 @@ func (c *Core) ReleaseBarrier(now uint64) {
 	}
 	c.waitingBarrier = false
 	c.frozenUntil = now + c.cfg.FrontendBubble
-	c.stats.Add("cpu.frontend_cycles", c.cfg.FrontendBubble)
+	c.ctr.frontend.Add(c.cfg.FrontendBubble)
 }
 
 // Done reports whether the core has retired everything.
@@ -272,35 +312,18 @@ func (c *Core) retire(now uint64) {
 		n++
 	}
 	if n > 0 {
-		c.stats.Add("cpu.retired", uint64(n))
+		c.ctr.retired.Add(uint64(n))
 	}
 }
 
 // attribute charges elapsed cycles to the state the core was in since the
-// previous tick.
+// previous tick. Frozen cycles are pre-attributed at dispatch time to the
+// fine-grained atomic counters.
 func (c *Core) attribute(elapsed uint64) {
 	if elapsed == 0 {
 		return
 	}
-	switch c.lastReason {
-	case StallNone:
-		c.stats.Add("cpu.cycles.active", elapsed)
-	case StallROBFull:
-		c.stats.Add("cpu.cycles.stall_rob", elapsed)
-	case StallWBFull:
-		c.stats.Add("cpu.cycles.stall_wb", elapsed)
-	case StallMSHR:
-		c.stats.Add("cpu.cycles.stall_mshr", elapsed)
-	case StallFrozen:
-		// Pre-attributed at dispatch time to the atomic counters.
-		c.stats.Add("cpu.cycles.frozen", elapsed)
-	case StallBarrier:
-		c.stats.Add("cpu.cycles.barrier", elapsed)
-	case StallDrainOut:
-		c.stats.Add("cpu.cycles.drain_out", elapsed)
-	case StallDone:
-		c.stats.Add("cpu.cycles.idle_done", elapsed)
-	}
+	c.ctr.cycles[c.lastReason].Add(elapsed)
 }
 
 // issueTime computes when a memory instruction's operands are ready: a
@@ -370,8 +393,8 @@ func (c *Core) Tick(now, elapsed uint64) (next uint64) {
 				drained := len(c.rob)
 				c.rob = c.rob[:0]
 				c.retired += uint64(n + drained)
-				c.stats.Add("cpu.retired", uint64(n+drained))
-				c.stats.Add("cpu.dispatched", uint64(n))
+				c.ctr.retired.Add(uint64(n + drained))
+				c.ctr.dispatched.Add(uint64(n))
 				c.ffUntil = now + cycles
 				c.lastReason = StallNone
 				return c.ffUntil
@@ -468,23 +491,23 @@ dispatch:
 				naturalReady := c.issueTime(in, now)
 				fenceReady := maxu(naturalReady, maxu(maxTime(c.wb), c.lastMemDone))
 				res := c.mem.Atomic(c.id, in, fenceReady)
-				c.stats.Add("cpu.cycles.dep_wait", naturalReady-now)
+				c.ctr.depWait.Add(naturalReady - now)
 				drain := fenceReady - naturalReady
-				c.stats.Add("cpu.atomic.drain_cycles", drain)
+				c.ctr.atomicDrain.Add(drain)
 				freeze := res.CompleteAt - fenceReady
 				inCache := res.InCacheCycles
 				if inCache > freeze {
 					inCache = freeze
 				}
-				c.stats.Add("cpu.atomic.incore_cycles", drain+freeze-inCache)
-				c.stats.Add("cpu.atomic.incache_cycles", inCache)
+				c.ctr.atomicInCore.Add(drain + freeze - inCache)
+				c.ctr.atomicInCache.Add(inCache)
 				fz := res.CompleteAt
 				if in.CASFailed() {
 					fz += c.cfg.CASFailFlush
-					c.stats.Add("cpu.badspec_cycles", c.cfg.CASFailFlush)
+					c.ctr.badspec.Add(c.cfg.CASFailFlush)
 				}
 				fz += c.cfg.FrontendBubble
-				c.stats.Add("cpu.frontend_cycles", c.cfg.FrontendBubble)
+				c.ctr.frontend.Add(c.cfg.FrontendBubble)
 				c.frozenUntil = fz
 				c.lastMemDone = res.CompleteAt
 				c.lastLoadDone = res.CompleteAt
@@ -512,7 +535,7 @@ dispatch:
 				// work once the response arrives.
 				eff += c.cfg.CASFailFlush
 				doneAt += c.cfg.CASFailFlush
-				c.stats.Add("cpu.badspec_cycles", c.cfg.CASFailFlush)
+				c.ctr.badspec.Add(c.cfg.CASFailFlush)
 			}
 			if res.OffChip {
 				c.atomq = append(c.atomq, res.CompleteAt)
@@ -546,7 +569,7 @@ dispatch:
 	}
 
 	if dispatched > 0 {
-		c.stats.Add("cpu.dispatched", uint64(dispatched))
+		c.ctr.dispatched.Add(uint64(dispatched))
 		reason = StallNone
 		next = now + 1
 	}

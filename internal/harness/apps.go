@@ -52,39 +52,33 @@ func fig15Energy() Experiment {
 }
 
 // appRun executes one real-world application on its graph and returns the
-// framework plus per-config results.
-func (e *Env) appRun(name string) (base, gpim machine.Result, fw *gframe.Framework) {
-	e.init()
+// per-config results.
+func (e *Env) appRun(name string) (base, gpim machine.Result) {
 	var w workloads.Workload
-	var g *graph.Graph
+	var mkGraph func() *graph.Graph
 	switch name {
 	case "FD":
 		w = workloads.NewFraudDetection(3)
-		g = graph.BitcoinLike(e.AppVertices, e.Seed)
+		mkGraph = func() *graph.Graph { return graph.BitcoinLike(e.AppVertices, e.Seed) }
 	case "RS":
 		w = workloads.NewRecommender(24)
-		g = graph.TwitterLike(e.AppVertices, e.Seed)
+		mkGraph = func() *graph.Graph { return graph.TwitterLike(e.AppVertices, e.Seed) }
 	default:
 		panic("harness: unknown application " + name)
 	}
-	key := traceKey{"app:" + name, e.AppVertices}
-	tr, ok := e.traces[key]
-	if !ok {
-		fw := gframe.New(g, e.Threads, gframe.DefaultCostModel())
-		res := w.Run(fw)
-		tr = &tracedRun{fw: fw, tr: fw.Trace(), res: res}
-		e.traces[key] = tr
-	}
+	key := traceKey{"app:" + name, e.AppVertices, e.Seed}
 	run := func(kind ConfigKind) machine.Result {
-		rkey := runKey{"app:" + name, e.AppVertices, kind, false, ""}
-		if r, ok := e.runs[rkey]; ok {
-			return r
-		}
-		r := machine.RunTrace(e.Config(kind, w), tr.fw.Space(), tr.tr)
-		e.runs[rkey] = r
-		return r
+		rkey := runKey{"app:" + name, e.AppVertices, kind, false, "", e.Seed}
+		return e.runCell(rkey, func() machine.Result {
+			tr := e.traceCell(key, func() *tracedRun {
+				fw := gframe.New(mkGraph(), e.Threads, gframe.DefaultCostModel())
+				res := w.Run(fw)
+				return &tracedRun{fw: fw, tr: fw.Trace(), res: res}
+			})
+			return machine.RunTrace(e.Config(kind, w), tr.fw.Space(), tr.tr)
+		})
 	}
-	return run(KindBaseline), run(KindGraphPIM), tr.fw
+	return run(KindBaseline), run(KindGraphPIM)
 }
 
 // table8AppCounters reproduces Table VIII: the performance-counter profile
@@ -102,7 +96,7 @@ func table8AppCounters() Experiment {
 			}
 			out := map[string]row{}
 			for _, app := range []string{"FD", "RS"} {
-				base, _, _ := e.appRun(app)
+				base, _ := e.appRun(app)
 				st := base.Stats
 				l3a, l3m := st["cache.l3.access"], st["cache.l3.miss"]
 				var hitRate float64
@@ -186,7 +180,7 @@ func fig17RealWorld() Experiment {
 				Headers: []string{"application", "speedup (sim)", "speedup (model)", "energy reduction"}}
 			p := energy.DefaultParams()
 			for _, app := range []string{"FD", "RS"} {
-				base, gpim, _ := e.appRun(app)
+				base, gpim := e.appRun(app)
 				in := analytic.Measure(base, e.Threads)
 				cacheMB := 1.0
 				eb := energy.Compute(p, base, cacheMB)

@@ -1,0 +1,81 @@
+package harness
+
+import (
+	"context"
+
+	"graphpim/internal/parallel"
+)
+
+// This file is the parallel experiment engine. Every figure in the paper
+// is a grid of independent simulation cells — (workload, config,
+// sweep-point, seed) tuples that each assemble their own machine with its
+// own Stats, Clock, and Rand. The engine exploits that independence with
+// a record → warm → replay scheme:
+//
+//  1. Record: run the experiment once with runCell in recording mode.
+//     Cells register themselves (in first-touch order) instead of
+//     simulating, and return zero Results; the pass's table is thrown
+//     away. Cell keys never depend on simulated values, so the recorded
+//     plan is exactly the set of cells a serial run would compute.
+//  2. Warm: fan the recorded plan across a parallel.ForEach worker pool.
+//     Each cell's once-guard ensures it is simulated exactly once no
+//     matter how many workers or experiments ask for it.
+//  3. Replay: run the experiment again for real. Every cell is now a memo
+//     hit, so the table assembles in the exact order — and with the exact
+//     values — of a serial run: parallelism changes who computes, never
+//     what.
+//
+// The scheme is fail-safe by construction: a cell the recording pass did
+// not discover is simply computed inline during replay (less parallelism,
+// same numbers), and if the recording pass panics the engine falls back
+// to a plain serial run.
+
+// recorder collects the simulation cells an experiment touches, in
+// first-touch order and deduplicated, during the recording pass.
+type recorder struct {
+	seen map[*runSlot]bool
+	plan []*runSlot
+}
+
+func (r *recorder) add(s *runSlot) {
+	if !r.seen[s] {
+		r.seen[s] = true
+		r.plan = append(r.plan, s)
+	}
+}
+
+// record runs ex in recording mode and returns its cell plan. A panic in
+// the pass (an experiment that divides by a not-yet-simulated value, say)
+// aborts recording; the caller then just runs serially.
+func (e *Env) record(ex Experiment) (plan []*runSlot, ok bool) {
+	rec := &recorder{seen: make(map[*runSlot]bool)}
+	e.mu.Lock()
+	e.rec = rec
+	e.mu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		e.rec = nil
+		e.mu.Unlock()
+		if recover() != nil {
+			plan, ok = nil, false
+		}
+	}()
+	ex.Run(e)
+	return rec.plan, true
+}
+
+// RunExperiment executes ex with e.Parallelism workers: the recorded cell
+// plan is warmed in parallel, then the experiment replays serially over
+// the memoized results, producing a table byte-for-byte identical to a
+// serial run. ctx cancellation stops the warm pass early; the replay then
+// computes the remaining cells inline (still correct, just serial).
+func (e *Env) RunExperiment(ctx context.Context, ex Experiment) *Table {
+	if workers := parallel.Workers(e.Parallelism); workers > 1 {
+		if plan, ok := e.record(ex); ok {
+			parallel.ForEach(ctx, workers, len(plan), func(i int) {
+				plan[i].get()
+			})
+		}
+	}
+	return ex.Run(e)
+}

@@ -1,0 +1,145 @@
+package harness
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+// testEnv returns a small environment sized for engine tests.
+func testEnv(parallelism int) *Env {
+	return &Env{
+		Vertices:     1024,
+		Seed:         7,
+		Threads:      16,
+		ScaledCaches: true,
+		SweepSizes:   []int{512, 1024},
+		AppVertices:  1024,
+		Parallelism:  parallelism,
+	}
+}
+
+// resultSnapshots materializes every memoized cell of an Env.
+func resultSnapshots(e *Env) map[runKey]machineResultView {
+	e.mu.Lock()
+	keys := make([]runKey, 0, len(e.runs))
+	for k := range e.runs {
+		keys = append(keys, k)
+	}
+	e.mu.Unlock()
+	out := make(map[runKey]machineResultView, len(keys))
+	for _, k := range keys {
+		e.mu.Lock()
+		s := e.runs[k]
+		e.mu.Unlock()
+		r := s.get()
+		out[k] = machineResultView{
+			Config:       r.Config,
+			Cycles:       r.Cycles,
+			Instructions: r.Instructions,
+			Stats:        r.Stats,
+		}
+	}
+	return out
+}
+
+type machineResultView struct {
+	Config       string
+	Cycles       uint64
+	Instructions uint64
+	Stats        map[string]uint64
+}
+
+// TestParallelDeterminism is the -j 1 vs -j 8 regression gate: the same
+// experiment must produce a byte-identical table and identical Result
+// snapshots (stats maps and cycle counts) at any worker count —
+// parallelism changes who computes, never what.
+func TestParallelDeterminism(t *testing.T) {
+	ex, err := ByID("fig7-speedup")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e1 := testEnv(1)
+	t1 := e1.RunExperiment(context.Background(), ex)
+	e8 := testEnv(8)
+	t8 := e8.RunExperiment(context.Background(), ex)
+
+	if got, want := t8.String(), t1.String(); got != want {
+		t.Fatalf("table differs between -j 1 and -j 8:\n--- j1 ---\n%s\n--- j8 ---\n%s", want, got)
+	}
+	if got, want := t8.CSV(), t1.CSV(); got != want {
+		t.Fatalf("CSV differs between -j 1 and -j 8")
+	}
+
+	s1 := resultSnapshots(e1)
+	s8 := resultSnapshots(e8)
+	if len(s1) == 0 {
+		t.Fatal("serial run memoized no cells")
+	}
+	if len(s1) != len(s8) {
+		t.Fatalf("cell sets differ: %d cells at -j 1, %d at -j 8", len(s1), len(s8))
+	}
+	for k, r1 := range s1 {
+		r8, ok := s8[k]
+		if !ok {
+			t.Fatalf("cell %+v missing at -j 8", k)
+		}
+		if !reflect.DeepEqual(r1, r8) {
+			t.Fatalf("cell %+v differs between -j 1 and -j 8:\nj1: %+v\nj8: %+v", k, r1, r8)
+		}
+	}
+}
+
+// TestRecordingDiscoversCells checks the engine's recording pass: it must
+// find the same cell set a serial run computes, without simulating any of
+// them.
+func TestRecordingDiscoversCells(t *testing.T) {
+	ex, err := ByID("fig11-fu-sweep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := testEnv(1)
+	plan, ok := e.record(ex)
+	if !ok {
+		t.Fatal("recording pass failed")
+	}
+	// 8 workloads x (1 baseline + 5 FU variants).
+	if want := 8 * 6; len(plan) != want {
+		t.Fatalf("recorded %d cells, want %d", len(plan), want)
+	}
+	// Recording must not simulate: every slot still has its compute
+	// closure pending.
+	for i, s := range plan {
+		if s.compute == nil {
+			t.Fatalf("plan[%d] was computed during recording", i)
+		}
+	}
+}
+
+// TestRunExperimentSharedEnv checks that experiments sharing one Env reuse
+// warmed cells across RunExperiment calls.
+func TestRunExperimentSharedEnv(t *testing.T) {
+	e := testEnv(4)
+	ctx := context.Background()
+	fig7, err := ByID("fig7-speedup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig10, err := ByID("fig10-missrate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = e.RunExperiment(ctx, fig7)
+	e.mu.Lock()
+	cellsAfterFig7 := len(e.runs)
+	e.mu.Unlock()
+	_ = e.RunExperiment(ctx, fig10) // baseline runs already warmed by fig7
+	e.mu.Lock()
+	cellsAfterFig10 := len(e.runs)
+	e.mu.Unlock()
+	if cellsAfterFig10 != cellsAfterFig7 {
+		t.Fatalf("fig10 created %d new cells; expected full reuse of fig7's baselines",
+			cellsAfterFig10-cellsAfterFig7)
+	}
+}

@@ -43,19 +43,30 @@ func extHybridMemory() Experiment {
 				if err != nil {
 					panic(err)
 				}
+				// Each coverage point is its own trace (PMR coverage
+				// changes where the property array is allocated).
+				hybridRun := func(cov float64, kind ConfigKind) machine.Result {
+					label := fmt.Sprintf("hybrid:%s@%g", name, cov)
+					rkey := runKey{label, e.Vertices, kind, false, "", e.Seed}
+					return e.runCell(rkey, func() machine.Result {
+						tr := e.traceCell(traceKey{label, e.Vertices, e.Seed}, func() *tracedRun {
+							fw := gframe.New(e.Graph(e.Vertices), e.Threads, gframe.DefaultCostModel())
+							fw.SetPMRCoverage(cov)
+							res := w.Run(fw)
+							return &tracedRun{fw: fw, tr: fw.Trace(), res: res}
+						})
+						return machine.RunTrace(e.Config(kind, w), tr.fw.Space(), tr.tr)
+					})
+				}
 				row := []string{name}
-				var baseCycles uint64
-				for i, cov := range coverages {
-					fw := gframe.New(e.Graph(e.Vertices), e.Threads, gframe.DefaultCostModel())
-					fw.SetPMRCoverage(cov)
-					w.Run(fw)
-					tr := fw.Trace()
-					if i == 0 {
-						base := machine.RunTrace(e.Config(KindBaseline, w), fw.Space(), tr)
-						baseCycles = base.Cycles
+				baseCycles := hybridRun(coverages[0], KindBaseline).Cycles
+				for _, cov := range coverages {
+					gp := hybridRun(cov, KindGraphPIM)
+					var sp float64
+					if gp.Cycles > 0 {
+						sp = float64(baseCycles) / float64(gp.Cycles)
 					}
-					gp := machine.RunTrace(e.Config(KindGraphPIM, w), fw.Space(), tr)
-					row = append(row, speedupStr(float64(baseCycles)/float64(gp.Cycles)))
+					row = append(row, speedupStr(sp))
 				}
 				t.Rows = append(t.Rows, row)
 			}
@@ -143,12 +154,23 @@ func extSeedStability() Experiment {
 				}
 				study := replicate.NewStudy()
 				for _, seed := range seeds {
-					g := graph.LDBC(size, seed)
-					fw := gframe.New(g, e.Threads, gframe.DefaultCostModel())
-					w.Run(fw)
-					tr := fw.Trace()
-					base := machine.RunTrace(e.Config(KindBaseline, w), fw.Space(), tr)
-					gpim := machine.RunTrace(e.Config(KindGraphPIM, w), fw.Space(), tr)
+					seed := seed
+					label := "seedstab:" + name
+					tkey := traceKey{label, size, seed}
+					buildTrace := func() *tracedRun {
+						g := graph.LDBC(size, seed)
+						fw := gframe.New(g, e.Threads, gframe.DefaultCostModel())
+						res := w.Run(fw)
+						return &tracedRun{fw: fw, tr: fw.Trace(), res: res}
+					}
+					seedRun := func(kind ConfigKind) machine.Result {
+						return e.runCell(runKey{label, size, kind, false, "", seed}, func() machine.Result {
+							tr := e.traceCell(tkey, buildTrace)
+							return machine.RunTrace(e.Config(kind, w), tr.fw.Space(), tr.tr)
+						})
+					}
+					base := seedRun(KindBaseline)
+					gpim := seedRun(KindGraphPIM)
 					study.Add("speedup", gpim.Speedup(base))
 				}
 				sum := study.Get("speedup")

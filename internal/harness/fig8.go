@@ -30,23 +30,40 @@ func extDependentBlock() Experiment {
 				Headers: headers}
 			const ops = 4000
 			for _, k := range ks {
-				sp := memmap.NewAddressSpace()
-				prop := sp.PMRMalloc(1 << 22)
-				b := trace.NewBuilder(sp, e.Threads)
-				for th := 0; th < e.Threads; th++ {
-					em := b.Thread(th)
-					for i := 0; i < ops/e.Threads; i++ {
-						v := (th*131071 + i*8191) % (1 << 15)
-						em.Atomic(trace.AtomicCAS, prop+memmap.Addr(v*64), 8, false, true, i%7 == 0)
-						em.DependentCompute(k)
-						em.Compute(k)
-					}
+				k := k
+				label := fmt.Sprintf("dep:K=%d", k)
+				type depTrace struct {
+					sp *memmap.AddressSpace
+					tr *trace.Trace
 				}
-				tr := b.Build()
-				baseCfg := e.scaleCaches(machine.Baseline())
-				gpimCfg := e.scaleCaches(machine.GraphPIM(false))
-				base := machine.RunTrace(baseCfg, sp, tr)
-				gpim := machine.RunTrace(gpimCfg, sp, tr)
+				buildDep := func() depTrace {
+					sp := memmap.NewAddressSpace()
+					prop := sp.PMRMalloc(1 << 22)
+					b := trace.NewBuilder(sp, e.Threads)
+					for th := 0; th < e.Threads; th++ {
+						em := b.Thread(th)
+						for i := 0; i < ops/e.Threads; i++ {
+							v := (th*131071 + i*8191) % (1 << 15)
+							em.Atomic(trace.AtomicCAS, prop+memmap.Addr(v*64), 8, false, true, i%7 == 0)
+							em.DependentCompute(k)
+							em.Compute(k)
+						}
+					}
+					tr := b.Build()
+					sp.Freeze()
+					tr.Freeze()
+					return depTrace{sp: sp, tr: tr}
+				}
+				// The synthetic trace is tiny; each config cell
+				// rebuilds it instead of sharing a trace memo slot.
+				base := e.runCell(runKey{label, ops, KindBaseline, false, "", e.Seed}, func() machine.Result {
+					d := buildDep()
+					return machine.RunTrace(e.scaleCaches(machine.Baseline()), d.sp, d.tr)
+				})
+				gpim := e.runCell(runKey{label, ops, KindGraphPIM, false, "", e.Seed}, func() machine.Result {
+					d := buildDep()
+					return machine.RunTrace(e.scaleCaches(machine.GraphPIM(false)), d.sp, d.tr)
+				})
 				perOpB := float64(base.Cycles) * float64(e.Threads) / ops
 				perOpG := float64(gpim.Cycles) * float64(e.Threads) / ops
 				t.AddRow(fmt.Sprintf("K=%d", k),

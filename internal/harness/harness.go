@@ -16,6 +16,7 @@ package harness
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"graphpim/internal/gframe"
 	"graphpim/internal/graph"
@@ -36,6 +37,12 @@ const (
 
 // Env fixes the experiment scale and caches simulation artifacts so that
 // experiments sharing runs (Figs. 7, 9, 10, 12, 15, 16) pay for them once.
+//
+// The memo maps are guarded by a mutex and every entry is a once-guarded
+// slot, so simulation cells may be computed from many goroutines at once
+// (the parallel experiment engine in engine.go does exactly that); each
+// artifact is still built exactly once and every value is a deterministic
+// function of its key, so concurrency never changes any number.
 type Env struct {
 	// Vertices is the default LDBC graph size.
 	Vertices int
@@ -51,15 +58,23 @@ type Env struct {
 	SweepSizes []int
 	// AppVertices is the graph size for the FD/RS applications.
 	AppVertices int
+	// Parallelism is the worker count used by RunExperiment to fan
+	// simulation cells across goroutines: 1 (or a single-core machine)
+	// runs serially, <= 0 selects GOMAXPROCS.
+	Parallelism int
 
-	graphs map[int]*graph.Graph
-	traces map[traceKey]*tracedRun
-	runs   map[runKey]machine.Result
+	mu     sync.Mutex
+	graphs map[int]*graphSlot
+	traces map[traceKey]*traceSlot
+	runs   map[runKey]*runSlot
+	// rec is non-nil during the engine's recording pass (engine.go).
+	rec *recorder
 }
 
 type traceKey struct {
 	workload string
 	vertices int
+	seed     uint64
 }
 
 type runKey struct {
@@ -68,6 +83,48 @@ type runKey struct {
 	kind     ConfigKind
 	extended bool
 	variant  string // "" normal; used by sweeps (FU count, link BW, strip)
+	seed     uint64
+}
+
+// graphSlot, traceSlot, and runSlot are once-guarded memo cells: the
+// first goroutine to need the value builds it, concurrent callers block
+// until it is ready, and everyone observes the same artifact.
+type graphSlot struct {
+	once sync.Once
+	g    *graph.Graph
+}
+
+type traceSlot struct {
+	once  sync.Once
+	build func() *tracedRun
+	tr    *tracedRun
+}
+
+func (s *traceSlot) get() *tracedRun {
+	s.once.Do(func() {
+		s.tr = s.build()
+		s.build = nil
+		// Hand-off point: the trace and its address space are now
+		// shared, possibly by concurrent replays. Freeze both so any
+		// stray post-build mutation panics instead of racing.
+		s.tr.fw.Space().Freeze()
+		s.tr.tr.Freeze()
+	})
+	return s.tr
+}
+
+type runSlot struct {
+	once    sync.Once
+	compute func() machine.Result
+	res     machine.Result
+}
+
+func (s *runSlot) get() machine.Result {
+	s.once.Do(func() {
+		s.res = s.compute()
+		s.compute = nil
+	})
+	return s.res
 }
 
 // tracedRun is one workload's functional execution and trace.
@@ -102,11 +159,12 @@ func QuickEnv() *Env {
 	}
 }
 
-func (e *Env) init() {
+// initLocked allocates the memo maps; e.mu must be held.
+func (e *Env) initLocked() {
 	if e.graphs == nil {
-		e.graphs = make(map[int]*graph.Graph)
-		e.traces = make(map[traceKey]*tracedRun)
-		e.runs = make(map[runKey]machine.Result)
+		e.graphs = make(map[int]*graphSlot)
+		e.traces = make(map[traceKey]*traceSlot)
+		e.runs = make(map[runKey]*runSlot)
 	}
 }
 
@@ -145,30 +203,68 @@ func (e *Env) Config(kind ConfigKind, w workloads.Workload) machine.Config {
 	return e.scaleCaches(cfg)
 }
 
-// Graph returns the cached LDBC graph of the given size.
+// Graph returns the cached LDBC graph of the given size. Graphs are
+// immutable once built, so the returned value is safe to share across
+// concurrently-building traces.
 func (e *Env) Graph(vertices int) *graph.Graph {
-	e.init()
-	if g, ok := e.graphs[vertices]; ok {
-		return g
+	e.mu.Lock()
+	e.initLocked()
+	s, ok := e.graphs[vertices]
+	if !ok {
+		s = &graphSlot{}
+		e.graphs[vertices] = s
 	}
-	g := graph.LDBC(vertices, e.Seed)
-	e.graphs[vertices] = g
-	return g
+	e.mu.Unlock()
+	s.once.Do(func() { s.g = graph.LDBC(vertices, e.Seed) })
+	return s.g
+}
+
+// traceCell memoizes one functional run + trace under key, building it
+// with build on first use. The build runs outside the Env lock, so
+// distinct traces construct concurrently; the finished trace and its
+// address space are frozen before being shared (see traceSlot.get).
+func (e *Env) traceCell(key traceKey, build func() *tracedRun) *tracedRun {
+	e.mu.Lock()
+	e.initLocked()
+	s, ok := e.traces[key]
+	if !ok {
+		s = &traceSlot{build: build}
+		e.traces[key] = s
+	}
+	e.mu.Unlock()
+	return s.get()
+}
+
+// runCell memoizes one simulation cell under key, computing it with
+// compute on first use. During the engine's recording pass the cell is
+// only registered in the plan and a zero Result is returned — experiment
+// logic never branches on result values while recording, and the pass's
+// output is discarded.
+func (e *Env) runCell(key runKey, compute func() machine.Result) machine.Result {
+	e.mu.Lock()
+	e.initLocked()
+	s, ok := e.runs[key]
+	if !ok {
+		s = &runSlot{compute: compute}
+		e.runs[key] = s
+	}
+	rec := e.rec
+	e.mu.Unlock()
+	if rec != nil {
+		rec.add(s)
+		return machine.Result{}
+	}
+	return s.get()
 }
 
 // Trace returns the cached functional run + trace of w on the LDBC graph
 // of the given size.
 func (e *Env) Trace(w workloads.Workload, vertices int) *tracedRun {
-	e.init()
-	key := traceKey{w.Info().Name, vertices}
-	if tr, ok := e.traces[key]; ok {
-		return tr
-	}
-	fw := gframe.New(e.Graph(vertices), e.Threads, gframe.DefaultCostModel())
-	res := w.Run(fw)
-	tr := &tracedRun{fw: fw, tr: fw.Trace(), res: res}
-	e.traces[key] = tr
-	return tr
+	return e.traceCell(traceKey{w.Info().Name, vertices, e.Seed}, func() *tracedRun {
+		fw := gframe.New(e.Graph(vertices), e.Threads, gframe.DefaultCostModel())
+		res := w.Run(fw)
+		return &tracedRun{fw: fw, tr: fw.Trace(), res: res}
+	})
 }
 
 // Run simulates w under the given configuration, memoizing results.
@@ -178,32 +274,24 @@ func (e *Env) Run(w workloads.Workload, kind ConfigKind) machine.Result {
 
 // RunSized is Run at an explicit graph size.
 func (e *Env) RunSized(w workloads.Workload, vertices int, kind ConfigKind) machine.Result {
-	e.init()
-	key := runKey{w.Info().Name, vertices, kind, w.Info().NeedsFPExtension, ""}
-	if r, ok := e.runs[key]; ok {
-		return r
-	}
-	tr := e.Trace(w, vertices)
-	r := machine.RunTrace(e.Config(kind, w), tr.fw.Space(), tr.tr)
-	e.runs[key] = r
-	return r
+	key := runKey{w.Info().Name, vertices, kind, w.Info().NeedsFPExtension, "", e.Seed}
+	return e.runCell(key, func() machine.Result {
+		tr := e.Trace(w, vertices)
+		return machine.RunTrace(e.Config(kind, w), tr.fw.Space(), tr.tr)
+	})
 }
 
 // RunVariant simulates with a caller-adjusted configuration, memoized
 // under the variant label.
 func (e *Env) RunVariant(w workloads.Workload, kind ConfigKind, variant string,
 	adjust func(*machine.Config)) machine.Result {
-	e.init()
-	key := runKey{w.Info().Name, e.Vertices, kind, w.Info().NeedsFPExtension, variant}
-	if r, ok := e.runs[key]; ok {
-		return r
-	}
-	cfg := e.Config(kind, w)
-	adjust(&cfg)
-	tr := e.Trace(w, e.Vertices)
-	r := machine.RunTrace(cfg, tr.fw.Space(), tr.tr)
-	e.runs[key] = r
-	return r
+	key := runKey{w.Info().Name, e.Vertices, kind, w.Info().NeedsFPExtension, variant, e.Seed}
+	return e.runCell(key, func() machine.Result {
+		cfg := e.Config(kind, w)
+		adjust(&cfg)
+		tr := e.Trace(w, e.Vertices)
+		return machine.RunTrace(cfg, tr.fw.Space(), tr.tr)
+	})
 }
 
 // Table is one experiment's output, rendered as aligned text.

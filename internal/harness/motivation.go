@@ -79,10 +79,13 @@ func fig4AtomicOverhead() Experiment {
 			for _, w := range workloads.EvalSet() {
 				withRes := e.Run(w, KindBaseline)
 				// Replay the stripped trace under the same machine.
-				tr := e.Trace(w, e.Vertices)
-				stripped := tr.tr.StripAtomics()
-				cfg := e.Config(KindBaseline, w)
-				withoutRes := machine.RunTrace(cfg, tr.fw.Space(), stripped)
+				w := w
+				key := runKey{w.Info().Name, e.Vertices, KindBaseline, w.Info().NeedsFPExtension, "strip", e.Seed}
+				withoutRes := e.runCell(key, func() machine.Result {
+					tr := e.Trace(w, e.Vertices)
+					stripped := tr.tr.StripAtomics()
+					return machine.RunTrace(e.Config(KindBaseline, w), tr.fw.Space(), stripped)
+				})
 				norm := float64(withRes.Cycles) / float64(withoutRes.Cycles)
 				overhead := 1 - float64(withoutRes.Cycles)/float64(withRes.Cycles)
 				sumOverhead += overhead

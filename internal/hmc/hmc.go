@@ -82,10 +82,55 @@ func DefaultConfig() Config {
 	}
 }
 
+// cubeCounters holds pre-resolved stat handles for the per-request paths
+// (see sim.Stats.Counter — no map lookups or string concatenation per
+// request).
+type cubeCounters struct {
+	flitsReq, flitsRsp sim.Counter
+
+	reads, writes     sim.Counter
+	ucReads, ucWrites sim.Counter
+
+	activates    sim.Counter
+	rowHits      sim.Counter
+	rowConflicts sim.Counter
+
+	atomics      sim.Counter
+	atomicByOp   [hmcatomic.NumOps]sim.Counter
+	fuBusy       sim.Counter
+	fpFUBusy     sim.Counter
+	fuQueue      sim.Counter
+	atomicWrites sim.Counter
+}
+
+func resolveCubeCounters(stats *sim.Stats) cubeCounters {
+	c := cubeCounters{
+		flitsReq:     stats.Counter("hmc.flits.req"),
+		flitsRsp:     stats.Counter("hmc.flits.rsp"),
+		reads:        stats.Counter("hmc.reads"),
+		writes:       stats.Counter("hmc.writes"),
+		ucReads:      stats.Counter("hmc.uc.reads"),
+		ucWrites:     stats.Counter("hmc.uc.writes"),
+		activates:    stats.Counter("hmc.dram.activates"),
+		rowHits:      stats.Counter("hmc.dram.row_hits"),
+		rowConflicts: stats.Counter("hmc.dram.row_conflicts"),
+		atomics:      stats.Counter("hmc.atomics"),
+		fuBusy:       stats.Counter("hmc.fu.busy_cycles"),
+		fpFUBusy:     stats.Counter("hmc.fpfu.busy_cycles"),
+		fuQueue:      stats.Counter("hmc.fu.queue_cycles"),
+		atomicWrites: stats.Counter("hmc.dram.atomic_writes"),
+	}
+	for op := 0; op < hmcatomic.NumOps; op++ {
+		c.atomicByOp[op] = stats.Counter("hmc.atomic." + hmcatomic.Op(op).String())
+	}
+	return c
+}
+
 // Cube is one HMC device.
 type Cube struct {
 	cfg   Config
 	stats *sim.Stats
+	ctr   cubeCounters
 
 	tRCD, tCL, tRP, tRAS, tRC uint64
 
@@ -121,6 +166,7 @@ func New(cfg Config, stats *sim.Stats) *Cube {
 	c := &Cube{
 		cfg:   cfg,
 		stats: stats,
+		ctr:   resolveCubeCounters(stats),
 		tRCD:  sim.NsToCycles(cfg.TRCDNs),
 		tCL:   sim.NsToCycles(cfg.TCLNs),
 		tRP:   sim.NsToCycles(cfg.TRPNs),
@@ -233,14 +279,14 @@ func (l *linkLane) reserve(ready uint64, flits int) uint64 {
 // sendRequest occupies the request link for flits FLITs starting no
 // earlier than now and returns the cycle the packet arrives at the vault.
 func (c *Cube) sendRequest(now uint64, flits int) uint64 {
-	c.stats.Add("hmc.flits.req", uint64(flits))
+	c.ctr.flitsReq.Add(uint64(flits))
 	return c.reqLink.reserve(now, flits) + c.cfg.LinkLatency
 }
 
 // sendResponse occupies the response link starting no earlier than ready
 // and returns the cycle the packet reaches the host.
 func (c *Cube) sendResponse(ready uint64, flits int) uint64 {
-	c.stats.Add("hmc.flits.rsp", uint64(flits))
+	c.ctr.flitsRsp.Add(uint64(flits))
 	return c.rspLink.reserve(ready, flits) + c.cfg.LinkLatency
 }
 
@@ -266,22 +312,22 @@ func (c *Cube) bankAccess(addr memmap.Addr, arrive, extra uint64) (dataReady uin
 	if !c.cfg.OpenPage {
 		dataReady = start + c.tRCD + c.tCL
 		c.bankFree[v][b] = start + c.tRC + extra
-		c.stats.Inc("hmc.dram.activates")
+		c.ctr.activates.Inc()
 		return dataReady
 	}
 	row := uint64(addr)/c.cfg.RowBytes + 1
 	switch c.openRow[v][b] {
 	case row: // row-buffer hit
-		c.stats.Inc("hmc.dram.row_hits")
+		c.ctr.rowHits.Inc()
 		dataReady = start + c.tCL
 		c.bankFree[v][b] = dataReady + extra
 	case 0: // bank idle, row closed
-		c.stats.Inc("hmc.dram.activates")
+		c.ctr.activates.Inc()
 		dataReady = start + c.tRCD + c.tCL
 		c.bankFree[v][b] = dataReady + extra
 	default: // row conflict: precharge, then activate
-		c.stats.Inc("hmc.dram.activates")
-		c.stats.Inc("hmc.dram.row_conflicts")
+		c.ctr.activates.Inc()
+		c.ctr.rowConflicts.Inc()
 		dataReady = start + c.tRP + c.tRCD + c.tCL
 		c.bankFree[v][b] = dataReady + extra
 	}
@@ -292,7 +338,7 @@ func (c *Cube) bankAccess(addr memmap.Addr, arrive, extra uint64) (dataReady uin
 // ReadLine implements cache.Backend: a 64-byte line fill on the critical
 // path. Returns latency relative to now.
 func (c *Cube) ReadLine(lineAddr memmap.Addr, now uint64) uint64 {
-	c.stats.Inc("hmc.reads")
+	c.ctr.reads.Inc()
 	cost := hmcatomic.Read64Cost()
 	arrive := c.sendRequest(now, cost.Request)
 	ready := c.bankAccess(lineAddr, arrive, 0)
@@ -304,7 +350,7 @@ func (c *Cube) ReadLine(lineAddr memmap.Addr, now uint64) uint64 {
 // latency is off the critical path but the traffic and bank occupancy are
 // modeled.
 func (c *Cube) WriteLine(lineAddr memmap.Addr, now uint64) {
-	c.stats.Inc("hmc.writes")
+	c.ctr.writes.Inc()
 	cost := hmcatomic.Write64Cost()
 	arrive := c.sendRequest(now, cost.Request)
 	c.bankAccess(lineAddr, arrive, 0)
@@ -314,7 +360,7 @@ func (c *Cube) WriteLine(lineAddr memmap.Addr, now uint64) {
 // UCRead is an uncacheable sub-line read (at most 16 bytes), used for
 // non-atomic accesses to the PIM memory region. Returns latency.
 func (c *Cube) UCRead(addr memmap.Addr, now uint64) uint64 {
-	c.stats.Inc("hmc.uc.reads")
+	c.ctr.ucReads.Inc()
 	cost := hmcatomic.UCReadCost()
 	arrive := c.sendRequest(now, cost.Request)
 	ready := c.bankAccess(addr, arrive, 0)
@@ -325,7 +371,7 @@ func (c *Cube) UCRead(addr memmap.Addr, now uint64) uint64 {
 // UCWrite is a posted uncacheable sub-line write. Returns the cycle at
 // which the write is acknowledged (needed only for write-buffer drains).
 func (c *Cube) UCWrite(addr memmap.Addr, now uint64) uint64 {
-	c.stats.Inc("hmc.uc.writes")
+	c.ctr.ucWrites.Inc()
 	cost := hmcatomic.UCWriteCost()
 	arrive := c.sendRequest(now, cost.Request)
 	ready := c.bankAccess(addr, arrive, 0)
@@ -348,8 +394,8 @@ type AtomicTiming struct {
 // Atomic executes op at addr as a PIM operation in the vault logic die.
 // imm is used only in functional mode.
 func (c *Cube) Atomic(op hmcatomic.Op, addr memmap.Addr, imm hmcatomic.Value, now uint64) AtomicTiming {
-	c.stats.Inc("hmc.atomics")
-	c.stats.Inc("hmc.atomic." + op.String())
+	c.ctr.atomics.Inc()
+	c.ctr.atomicByOp[op].Inc()
 	cost := hmcatomic.AtomicCost(op)
 
 	arrive := c.sendRequest(now, cost.Request)
@@ -363,7 +409,7 @@ func (c *Cube) Atomic(op hmcatomic.Op, addr memmap.Addr, imm hmcatomic.Value, no
 	// Claim a functional unit; the op starts when both the data and an
 	// FU are available.
 	pool := c.intFU[v]
-	busyCounter := "hmc.fu.busy_cycles"
+	busy := c.ctr.fuBusy
 	if hmcatomic.IsFloat(op) {
 		if len(c.fpFU[v]) == 0 {
 			// No FP unit: the machine layer should not have offloaded
@@ -371,7 +417,7 @@ func (c *Cube) Atomic(op hmcatomic.Op, addr memmap.Addr, imm hmcatomic.Value, no
 			panic(fmt.Sprintf("hmc: FP atomic %v offloaded but vault has no FP FU", op))
 		}
 		pool = c.fpFU[v]
-		busyCounter = "hmc.fpfu.busy_cycles"
+		busy = c.ctr.fpFUBusy
 	}
 	fuIdx := 0
 	for i := range pool {
@@ -382,9 +428,9 @@ func (c *Cube) Atomic(op hmcatomic.Op, addr memmap.Addr, imm hmcatomic.Value, no
 	opStart := maxu(dataReady, pool[fuIdx])
 	opDone := opStart + fuLat
 	pool[fuIdx] = opDone
-	c.stats.Add(busyCounter, fuLat)
+	busy.Add(fuLat)
 	if wait := opStart - dataReady; wait > 0 {
-		c.stats.Add("hmc.fu.queue_cycles", wait)
+		c.ctr.fuQueue.Add(wait)
 	}
 
 	t := AtomicTiming{Accepted: maxu(now+2, arrive-c.cfg.LinkLatency)}
@@ -394,7 +440,7 @@ func (c *Cube) Atomic(op hmcatomic.Op, addr memmap.Addr, imm hmcatomic.Value, no
 		r := hmcatomic.Apply(op, c.mem[addr], imm)
 		if r.Wrote {
 			c.mem[addr] = r.New
-			c.stats.Inc("hmc.dram.atomic_writes")
+			c.ctr.atomicWrites.Inc()
 		}
 		t.Flag = r.Flag
 	}

@@ -141,10 +141,50 @@ func (r Result) TotalFlits() uint64 {
 	return r.Stats["hmc.flits.req"] + r.Stats["hmc.flits.rsp"]
 }
 
+// machCounters holds pre-resolved handles for every counter the machine
+// bumps while routing memory operations; loads/stores are indexed by
+// memmap.Region so the hot path never builds a counter name.
+type machCounters struct {
+	loads  [3]sim.Counter
+	stores [3]sim.Counter
+
+	ucLoads  sim.Counter
+	ucStores sim.Counter
+
+	hostAtomics sim.Counter
+	pimAtomics  sim.Counter
+	upeiHostOps sim.Counter
+
+	candidates     sim.Counter
+	candidatesHit  sim.Counter
+	candidatesMiss sim.Counter
+
+	barriers sim.Counter
+}
+
+func resolveMachCounters(stats *sim.Stats) machCounters {
+	var ctr machCounters
+	for _, r := range []memmap.Region{memmap.RegionMeta, memmap.RegionStruct, memmap.RegionProperty} {
+		ctr.loads[r] = stats.Counter("mem.loads." + r.String())
+		ctr.stores[r] = stats.Counter("mem.stores." + r.String())
+	}
+	ctr.ucLoads = stats.Counter("mem.uc_loads")
+	ctr.ucStores = stats.Counter("mem.uc_stores")
+	ctr.hostAtomics = stats.Counter("mem.host_atomics")
+	ctr.pimAtomics = stats.Counter("mem.pim_atomics")
+	ctr.upeiHostOps = stats.Counter("mem.upei_host_ops")
+	ctr.candidates = stats.Counter("pou.candidates")
+	ctr.candidatesHit = stats.Counter("pou.candidates.hit")
+	ctr.candidatesMiss = stats.Counter("pou.candidates.miss")
+	ctr.barriers = stats.Counter("machine.barriers")
+	return ctr
+}
+
 // Machine is one assembled system ready to replay a trace.
 type Machine struct {
 	cfg   Config
 	stats *sim.Stats
+	ctr   machCounters
 	space *memmap.AddressSpace
 	cube  *hmc.Pool
 	cache *cache.Hierarchy
@@ -171,6 +211,7 @@ func New(cfg Config, space *memmap.AddressSpace, tr *trace.Trace) *Machine {
 	m := &Machine{
 		cfg:   cfg,
 		stats: st,
+		ctr:   resolveMachCounters(st),
 		space: space,
 		cube:  hmc.NewPool(poolCfg, st),
 		pou:   pou.New(cfg.POU, space),
@@ -194,7 +235,7 @@ func (m *Machine) Stats() *sim.Stats { return m.stats }
 func (m *Machine) Load(core int, in trace.Instr, now uint64) cpu.MemResult {
 	d := m.pou.Route(in)
 	if d.Path == pou.PathUC {
-		m.stats.Inc("mem.uc_loads")
+		m.ctr.ucLoads.Inc()
 		at := now
 		if m.ucFree[core] > at {
 			at = m.ucFree[core]
@@ -203,7 +244,7 @@ func (m *Machine) Load(core int, in trace.Instr, now uint64) cpu.MemResult {
 		lat := m.cube.UCRead(in.Addr, at)
 		return cpu.MemResult{CompleteAt: at + lat, OffChip: true}
 	}
-	m.stats.Inc("mem.loads." + in.Region.String())
+	m.ctr.loads[in.Region].Inc()
 	r := m.cache.Access(core, in.Addr, false, now)
 	return cpu.MemResult{CompleteAt: now + r.Latency, OffChip: r.Level == cache.LevelMem}
 }
@@ -212,7 +253,7 @@ func (m *Machine) Load(core int, in trace.Instr, now uint64) cpu.MemResult {
 func (m *Machine) Store(core int, in trace.Instr, now uint64) cpu.MemResult {
 	d := m.pou.Route(in)
 	if d.Path == pou.PathUC {
-		m.stats.Inc("mem.uc_stores")
+		m.ctr.ucStores.Inc()
 		at := now
 		if m.ucFree[core] > at {
 			at = m.ucFree[core]
@@ -221,7 +262,7 @@ func (m *Machine) Store(core int, in trace.Instr, now uint64) cpu.MemResult {
 		done := m.cube.UCWrite(in.Addr, at)
 		return cpu.MemResult{CompleteAt: done, OffChip: true}
 	}
-	m.stats.Inc("mem.stores." + in.Region.String())
+	m.ctr.stores[in.Region].Inc()
 	r := m.cache.Access(core, in.Addr, true, now)
 	return cpu.MemResult{CompleteAt: now + r.Latency, OffChip: r.Level == cache.LevelMem}
 }
@@ -248,7 +289,7 @@ func (m *Machine) probeLatency(lvl cache.Level) uint64 {
 func (m *Machine) Atomic(core int, in trace.Instr, now uint64) cpu.AtomicResult {
 	d := m.pou.Route(in)
 	if d.Candidate {
-		m.stats.Inc("pou.candidates")
+		m.ctr.candidates.Inc()
 	}
 
 	switch d.Path {
@@ -258,12 +299,12 @@ func (m *Machine) Atomic(core int, in trace.Instr, now uint64) cpu.AtomicResult 
 		r := m.cache.Access(core, in.Addr, true, now)
 		if d.Candidate {
 			if r.Level == cache.LevelMem {
-				m.stats.Inc("pou.candidates.miss")
+				m.ctr.candidatesMiss.Inc()
 			} else {
-				m.stats.Inc("pou.candidates.hit")
+				m.ctr.candidatesHit.Inc()
 			}
 		}
-		m.stats.Inc("mem.host_atomics")
+		m.ctr.hostAtomics.Inc()
 		lat := r.Latency + m.cfg.HostAtomicRMW
 		if in.Atomic == trace.AtomicFPAdd {
 			lat += m.cfg.HostFPAtomicExtra
@@ -282,9 +323,9 @@ func (m *Machine) Atomic(core int, in trace.Instr, now uint64) cpu.AtomicResult 
 			lvl, hit := m.cache.Probe(core, in.Addr)
 			if hit {
 				if d.Candidate {
-					m.stats.Inc("pou.candidates.hit")
+					m.ctr.candidatesHit.Inc()
 				}
-				m.stats.Inc("mem.upei_host_ops")
+				m.ctr.upeiHostOps.Inc()
 				r := m.cache.Access(core, in.Addr, true, now)
 				return cpu.AtomicResult{
 					AcceptedAt:   now + 2,
@@ -293,13 +334,13 @@ func (m *Machine) Atomic(core int, in trace.Instr, now uint64) cpu.AtomicResult 
 				}
 			}
 			if d.Candidate {
-				m.stats.Inc("pou.candidates.miss")
+				m.ctr.candidatesMiss.Inc()
 			}
 			// Miss: pay the full cache walk before offloading; the
 			// fill is skipped (PEI computes in memory, ideal
 			// coherence keeps nothing to write back).
 			walk := m.probeLatency(lvl)
-			m.stats.Inc("mem.pim_atomics")
+			m.ctr.pimAtomics.Inc()
 			t := m.cube.Atomic(d.Op, in.Addr, hmcatomic.Value{}, now+walk)
 			return cpu.AtomicResult{
 				AcceptedAt:    t.Accepted,
@@ -310,7 +351,7 @@ func (m *Machine) Atomic(core int, in trace.Instr, now uint64) cpu.AtomicResult 
 			}
 		}
 		// GraphPIM: offload immediately, no cache involvement at all.
-		m.stats.Inc("mem.pim_atomics")
+		m.ctr.pimAtomics.Inc()
 		t := m.cube.Atomic(d.Op, in.Addr, hmcatomic.Value{}, now)
 		return cpu.AtomicResult{
 			AcceptedAt: t.Accepted,
@@ -356,7 +397,7 @@ func (m *Machine) Run(maxCycles uint64) Result {
 			for _, c := range m.cores {
 				c.ReleaseBarrier(now)
 			}
-			m.stats.Inc("machine.barriers")
+			m.ctr.barriers.Inc()
 			minNext = now + 1
 		}
 

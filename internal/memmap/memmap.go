@@ -63,7 +63,10 @@ const (
 
 // AddressSpace is a bump allocator over the simulated segments plus the
 // record of which ranges are uncacheable (the PMR). It is not safe for
-// concurrent use; trace generation is single-goroutine by design.
+// concurrent use while being built; trace generation is single-goroutine
+// by design. Once Freeze is called the space becomes immutable and its
+// read-only queries (InPMR, RegionOf, UCRanges, Footprint) are safe to
+// call from any number of goroutines replaying the trace concurrently.
 type AddressSpace struct {
 	metaNext   Addr
 	structNext Addr
@@ -74,6 +77,8 @@ type AddressSpace struct {
 	// range per machine, but the structure supports several (the paper's
 	// mixed HMC+DRAM discussion).
 	ucRanges []addrRange
+
+	frozen bool
 }
 
 type addrRange struct {
@@ -122,7 +127,19 @@ func (s *AddressSpace) PMRMalloc(size uint64) Addr {
 	return base
 }
 
+// Freeze makes the address space immutable. Any later allocation or
+// uncacheable-range mutation panics, so concurrent replay over a shared
+// space can never silently race with a stray allocation. Freezing twice
+// is a no-op.
+func (s *AddressSpace) Freeze() { s.frozen = true }
+
+// Frozen reports whether Freeze has been called.
+func (s *AddressSpace) Frozen() bool { return s.frozen }
+
 func (s *AddressSpace) bump(next *Addr, segBase Addr, size uint64) Addr {
+	if s.frozen {
+		panic("memmap: allocation from frozen AddressSpace")
+	}
 	if size == 0 {
 		size = 1
 	}
@@ -136,6 +153,9 @@ func (s *AddressSpace) bump(next *Addr, segBase Addr, size uint64) Addr {
 }
 
 func (s *AddressSpace) markUncacheable(base, size Addr) {
+	if s.frozen {
+		panic("memmap: uncacheable-range mutation on frozen AddressSpace")
+	}
 	s.ucRanges = append(s.ucRanges, addrRange{base: base, size: size})
 	sort.Slice(s.ucRanges, func(i, j int) bool { return s.ucRanges[i].base < s.ucRanges[j].base })
 }

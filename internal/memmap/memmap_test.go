@@ -148,3 +148,40 @@ func TestZeroSizeAlloc(t *testing.T) {
 		t.Fatal("zero-size allocations must still be distinct")
 	}
 }
+
+func TestFreezePanicsOnMutation(t *testing.T) {
+	s := NewAddressSpace()
+	s.AllocMeta(64)
+	base := s.PMRMalloc(128)
+	s.Freeze()
+	s.Freeze() // idempotent
+	if !s.Frozen() {
+		t.Fatal("Frozen() false after Freeze")
+	}
+
+	// Read-only queries must keep working.
+	if !s.InPMR(base) {
+		t.Fatal("InPMR broken after Freeze")
+	}
+	if s.RegionOf(base) != RegionProperty {
+		t.Fatal("RegionOf broken after Freeze")
+	}
+	if len(s.UCRanges()) != 1 {
+		t.Fatal("UCRanges broken after Freeze")
+	}
+
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic on frozen space", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("AllocMeta", func() { s.AllocMeta(8) })
+	mustPanic("AllocStruct", func() { s.AllocStruct(8) })
+	mustPanic("AllocProperty", func() { s.AllocProperty(8) })
+	mustPanic("PMRMalloc", func() { s.PMRMalloc(8) })
+	mustPanic("RestoreUncacheable", func() { s.RestoreUncacheable(0x1000, 64) })
+}

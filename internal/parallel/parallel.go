@@ -1,0 +1,96 @@
+// Package parallel provides the bounded worker pool that fans experiment
+// cells out across goroutines.
+//
+// The pool is deliberately tiny: callers hand it an index range and a
+// function, and it guarantees every index runs exactly once (unless the
+// context is cancelled), spread over at most the requested number of
+// workers. Determinism is the caller's problem by construction — ForEach
+// never reorders results because it never collects any; callers write
+// fn(i)'s output into slot i of a pre-sized slice, so the assembled output
+// is identical to a serial loop regardless of completion order.
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers clamps a requested worker count: n <= 0 selects GOMAXPROCS
+// (the "use the machine" default for a CPU-bound simulation sweep).
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach runs fn(i) for every i in [0, n), spread across at most
+// Workers(workers) goroutines, and blocks until all indices finish or ctx
+// is cancelled. Indices are claimed from a shared atomic counter, so work
+// is dynamically balanced: a goroutine that finishes a cheap cell
+// immediately claims the next one.
+//
+// On cancellation, in-flight calls run to completion, unclaimed indices
+// are skipped, and the context error is returned. A panic inside fn
+// propagates to the ForEach caller (after the other workers drain) rather
+// than killing the process from an anonymous goroutine.
+func ForEach(ctx context.Context, workers, n int, fn func(i int)) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		// Serial fast path: no goroutines, no atomics — identical
+		// semantics, and keeps -j 1 runs trivially comparable to the
+		// pre-engine serial harness.
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			fn(i)
+		}
+		return nil
+	}
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicVal any
+	)
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicVal == nil {
+						panicVal = r
+					}
+					panicMu.Unlock()
+				}
+			}()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
+	return ctx.Err()
+}

@@ -1,0 +1,86 @@
+package parallel
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 8, 100} {
+		const n = 257
+		var hits [n]atomic.Int32
+		if err := ForEach(context.Background(), workers, n, func(i int) {
+			hits[i].Add(1)
+		}); err != nil {
+			t.Fatalf("workers=%d: unexpected error %v", workers, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachDeterministicSlots(t *testing.T) {
+	// The canonical usage: each cell writes into its own slot, so the
+	// collected output is independent of scheduling.
+	const n = 100
+	serial := make([]int, n)
+	ForEach(context.Background(), 1, n, func(i int) { serial[i] = i * i })
+	par := make([]int, n)
+	ForEach(context.Background(), 8, n, func(i int) { par[i] = i * i })
+	for i := range serial {
+		if serial[i] != par[i] {
+			t.Fatalf("slot %d: serial %d != parallel %d", i, serial[i], par[i])
+		}
+	}
+}
+
+func TestForEachCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	err := ForEach(ctx, 4, 10_000, func(i int) {
+		if ran.Add(1) == 5 {
+			cancel()
+		}
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got >= 10_000 {
+		t.Fatalf("cancellation did not stop the sweep (ran %d cells)", got)
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+	}()
+	ForEach(context.Background(), 4, 16, func(i int) {
+		if i == 7 {
+			panic("boom")
+		}
+	})
+	t.Fatal("ForEach returned instead of panicking")
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(context.Background(), 4, 0, func(int) {
+		t.Fatal("fn called for empty range")
+	}); err != nil {
+		t.Fatalf("unexpected error %v", err)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Fatal("Workers(3) != 3")
+	}
+	if Workers(0) < 1 || Workers(-1) < 1 {
+		t.Fatal("Workers must default to at least one goroutine")
+	}
+}

@@ -10,10 +10,14 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
-// Study accumulates named metric samples.
+// Study accumulates named metric samples. It is safe for concurrent use:
+// experiment cells running on the parallel engine may record observations
+// from multiple goroutines.
 type Study struct {
+	mu      sync.Mutex
 	samples map[string][]float64
 }
 
@@ -24,7 +28,9 @@ func NewStudy() *Study {
 
 // Add records one observation of the named metric.
 func (s *Study) Add(name string, v float64) {
+	s.mu.Lock()
 	s.samples[name] = append(s.samples[name], v)
+	s.mu.Unlock()
 }
 
 // Summary describes one metric's distribution over the study's runs.
@@ -83,6 +89,8 @@ func Summarize(name string, values []float64) Summary {
 
 // Summaries returns every metric's summary, sorted by name.
 func (s *Study) Summaries() []Summary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	names := make([]string, 0, len(s.samples))
 	for n := range s.samples {
 		names = append(names, n)
@@ -97,5 +105,7 @@ func (s *Study) Summaries() []Summary {
 
 // Get returns the summary for one metric.
 func (s *Study) Get(name string) Summary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return Summarize(name, s.samples[name])
 }

@@ -171,10 +171,26 @@ func (i Instr) RetUsed() bool { return i.Flags&FlagRetUsed != 0 }
 func (i Instr) CASFailed() bool { return i.Flags&FlagCASFail != 0 }
 
 // Trace holds the per-thread instruction streams of one workload run.
+//
+// A trace is built once (single goroutine) and then replayed — possibly by
+// many machines concurrently. Replay only reads Threads, so a frozen trace
+// is safe to share; Freeze records that hand-off point and lets shared
+// traces assert they are no longer being appended to.
 type Trace struct {
 	// Threads is indexed by logical thread (== simulated core).
 	Threads [][]Instr
+
+	frozen bool
 }
+
+// Freeze marks the trace immutable. Replay never mutates a trace; calling
+// Freeze after build documents (and lets assertions enforce) that the
+// builder has handed the trace off for concurrent replay. Freezing twice
+// is a no-op.
+func (t *Trace) Freeze() { t.frozen = true }
+
+// Frozen reports whether Freeze has been called.
+func (t *Trace) Frozen() bool { return t.frozen }
 
 // NumThreads returns the thread count.
 func (t *Trace) NumThreads() int { return len(t.Threads) }

@@ -264,3 +264,19 @@ func TestComputeCoalescingRespectsCap(t *testing.T) {
 		}
 	}
 }
+
+func TestTraceFreeze(t *testing.T) {
+	tr := &Trace{Threads: [][]Instr{{{Kind: KindAtomic, Atomic: AtomicAdd}}}}
+	if tr.Frozen() {
+		t.Fatal("new trace must not be frozen")
+	}
+	tr.Freeze()
+	tr.Freeze() // idempotent
+	if !tr.Frozen() {
+		t.Fatal("Frozen() false after Freeze")
+	}
+	// StripAtomics hands back a fresh, unfrozen copy.
+	if tr.StripAtomics().Frozen() {
+		t.Fatal("StripAtomics copy must start unfrozen")
+	}
+}
