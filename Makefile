@@ -1,16 +1,24 @@
 GO ?= go
 
-.PHONY: build test race bench
+.PHONY: build vet test race bench
 
 build:
 	$(GO) build ./...
 
-test: build
-	$(GO) test ./...
+# vet is the static gate: go vet plus a gofmt cleanliness check.
+vet:
+	$(GO) vet ./...
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-# race validates the parallel experiment engine's frozen-trace/space
-# design: memoized cells replay shared immutable inputs from many
-# goroutines, and the detector must stay silent.
+# The default test target runs the static gate, the plain suite, and the
+# race suite: the parallel experiment engine's frozen-trace/space design
+# (memoized cells replayed from many goroutines) must keep the race
+# detector silent on every change.
+test: build vet
+	$(GO) test ./...
+	$(GO) test -race ./...
+
 race:
 	$(GO) test -race ./...
 

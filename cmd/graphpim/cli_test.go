@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"graphpim/internal/obs"
+)
+
+// runCLI drives the real CLI entry point with captured streams.
+func runCLI(args ...string) (stdout, stderr string, code int) {
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return out.String(), errb.String(), code
+}
+
+func TestRunRejectsBadWorkerCount(t *testing.T) {
+	for _, j := range []string{"0", "-3"} {
+		_, stderr, code := runCLI("run", "-j", j, "all")
+		if code != 2 {
+			t.Fatalf("-j %s: exit code %d, want 2", j, code)
+		}
+		if !strings.Contains(stderr, "-j must be at least 1") {
+			t.Fatalf("-j %s: unhelpful message %q", j, stderr)
+		}
+	}
+}
+
+func TestRunUnknownExperimentListsRegistry(t *testing.T) {
+	_, stderr, code := runCLI("run", "bogus-id")
+	if code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(stderr, `unknown experiment "bogus-id"`) {
+		t.Fatalf("missing unknown-experiment message: %q", stderr)
+	}
+	// The message must list valid ids in registry order, extras last.
+	for _, id := range []string{"fig1-ipc", "fig7-speedup", "ext-dependent-block"} {
+		if !strings.Contains(stderr, id) {
+			t.Fatalf("valid-id list missing %s:\n%s", id, stderr)
+		}
+	}
+	if strings.Index(stderr, "fig1-ipc") > strings.Index(stderr, "fig7-speedup") ||
+		strings.Index(stderr, "fig7-speedup") > strings.Index(stderr, "ext-dependent-block") {
+		t.Fatalf("valid-id list out of registry order:\n%s", stderr)
+	}
+}
+
+func TestRunRejectsBadFormat(t *testing.T) {
+	_, stderr, code := runCLI("run", "-format", "yaml", "all")
+	if code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(stderr, `invalid -format "yaml"`) {
+		t.Fatalf("unhelpful message %q", stderr)
+	}
+}
+
+func TestReplayNeedsInDir(t *testing.T) {
+	if _, _, code := runCLI("replay"); code != 2 {
+		t.Fatalf("replay without -in: exit code %d, want 2", code)
+	}
+}
+
+// TestRunJSONDeterministicAcrossWorkers is the -format json regression
+// gate: stdout must be byte-identical at -j 1 and -j 8 (timings live in
+// the manifest and on stderr, never in the table stream).
+func TestRunJSONDeterministicAcrossWorkers(t *testing.T) {
+	render := func(j string) string {
+		out, stderr, code := runCLI("run", "-quick", "-q", "-format", "json",
+			"-j", j, "ext-dependent-block", "table1-hmc-atomics")
+		if code != 0 {
+			t.Fatalf("-j %s failed (%d): %s", j, code, stderr)
+		}
+		return out
+	}
+	if j1, j8 := render("1"), render("8"); j1 != j8 {
+		t.Fatalf("-format json differs between -j 1 and -j 8:\n--- j1 ---\n%s\n--- j8 ---\n%s", j1, j8)
+	}
+}
+
+// TestRunOutReplayRoundTrip is the acceptance gate for the run
+// directory: `run -out DIR` writes JSONL records plus a manifest, and
+// `replay -in DIR` regenerates the exact stdout of the original run
+// without re-simulating.
+func TestRunOutReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	out, stderr, code := runCLI("run", "-quick", "-q", "-out", dir, "-j", "8",
+		"ext-dependent-block", "table3-applicability")
+	if code != 0 {
+		t.Fatalf("run failed (%d): %s", code, stderr)
+	}
+
+	m, err := obs.LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Experiments) != 2 {
+		t.Fatalf("manifest lists %d experiments, want 2", len(m.Experiments))
+	}
+	if m.CellCount == 0 {
+		t.Fatal("manifest records no cells; ext-dependent-block simulates six")
+	}
+	if m.Flags["j"] != "8" || m.Flags["quick"] != "true" {
+		t.Fatalf("manifest flags not captured: %v", m.Flags)
+	}
+	recs, err := obs.LoadRecords(dir, m.Experiments[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != m.Experiments[0].Cells {
+		t.Fatalf("record file has %d records, manifest says %d", len(recs), m.Experiments[0].Cells)
+	}
+
+	replayOut, replayErr, replayCode := runCLI("replay", "-in", dir)
+	if replayCode != 0 {
+		t.Fatalf("replay failed (%d): %s", replayCode, replayErr)
+	}
+	if replayOut != out {
+		t.Fatalf("replay output differs from the original run:\n--- run ---\n%s\n--- replay ---\n%s", out, replayOut)
+	}
+
+	// A filtered replay regenerates just the requested table.
+	only, _, onlyCode := runCLI("replay", "-in", dir, "table3-applicability")
+	if onlyCode != 0 {
+		t.Fatalf("filtered replay failed (%d)", onlyCode)
+	}
+	if !strings.Contains(only, "# table3-applicability") || strings.Contains(only, "# ext-dependent-block") {
+		t.Fatalf("filtered replay selected the wrong tables:\n%s", only)
+	}
+
+	// Asking for an experiment the run directory does not hold fails.
+	if _, _, badCode := runCLI("replay", "-in", dir, "fig7-speedup"); badCode != 2 {
+		t.Fatalf("replay of unrecorded experiment: exit code %d, want 2", badCode)
+	}
+}

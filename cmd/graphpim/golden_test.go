@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"graphpim"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestGoldenStaticExport pins the JSON and CSV export formats against
+// golden files. The experiments are the registry's static tables
+// (Tables I, III, V — no simulation), so the goldens pin the output
+// format without pinning simulation numbers: a format change fails the
+// test, a model change does not.
+func TestGoldenStaticExport(t *testing.T) {
+	ids := []string{"table1-hmc-atomics", "table3-applicability", "table5-flits"}
+	var exps []graphpim.Experiment
+	for _, id := range ids {
+		ex, err := graphpim.ExperimentByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exps = append(exps, ex)
+	}
+	for _, format := range []string{"json", "csv"} {
+		var buf bytes.Buffer
+		if err := runExperiments(&buf, testCLIEnv(1), exps, format, nil); err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		golden := filepath.Join("testdata", "static-tables."+format+".golden")
+		if *updateGolden {
+			if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatalf("%s: %v (run `go test ./cmd/graphpim -run Golden -update` to create)", format, err)
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Errorf("%s export drifted from %s:\n--- got ---\n%s\n--- want ---\n%s",
+				format, golden, buf.Bytes(), want)
+		}
+	}
+}

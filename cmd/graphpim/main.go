@@ -6,9 +6,14 @@
 //	graphpim list
 //	    List every experiment (paper table/figure reproductions).
 //
-//	graphpim run [-quick] [-vertices N] [-seed S] all|<id>...
+//	graphpim run [-quick] [-vertices N] [-seed S] [-format F] [-out DIR] all|<id>...
 //	    Run experiments and print their tables. "all" runs the full
-//	    evaluation in paper order.
+//	    evaluation in paper order. -out writes one JSONL record file per
+//	    experiment plus a manifest.json, from which `graphpim replay`
+//	    regenerates every table without re-simulating.
+//
+//	graphpim replay -in DIR [all|<id>...]
+//	    Regenerate experiment tables from a recorded run directory.
 //
 //	graphpim workload [-quick] [-vertices N] [-config baseline|upei|graphpim] <name>
 //	    Simulate one GraphBIG workload and print its headline numbers.
@@ -16,50 +21,66 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"runtime"
-	"sort"
+	"runtime/pprof"
 	"time"
 
 	"graphpim"
+	"graphpim/internal/harness"
+	"graphpim/internal/obs"
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable CLI entry point: it dispatches on the subcommand
+// and returns the process exit code (0 success, 1 runtime failure, 2
+// usage error).
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		usage(stderr)
+		return 2
 	}
-	switch os.Args[1] {
+	switch args[0] {
 	case "list":
-		cmdList()
+		return cmdList(stdout)
 	case "run":
-		cmdRun(os.Args[2:])
+		return cmdRun(args[1:], stdout, stderr)
+	case "replay":
+		return cmdReplay(args[1:], stdout, stderr)
 	case "workload":
-		cmdWorkload(os.Args[2:])
+		return cmdWorkload(args[1:], stdout, stderr)
 	case "report":
-		cmdReport(os.Args[2:])
+		return cmdReport(args[1:], stderr)
 	case "trace":
-		cmdTrace(os.Args[2:])
+		cmdTrace(args[1:])
+		return 0
 	case "graph":
-		cmdGraph(os.Args[2:])
+		cmdGraph(args[1:])
+		return 0
 	case "-h", "--help", "help":
-		usage()
+		usage(stderr)
+		return 0
 	default:
-		fmt.Fprintf(os.Stderr, "unknown command %q\n\n", os.Args[1])
-		usage()
-		os.Exit(2)
+		fmt.Fprintf(stderr, "unknown command %q\n\n", args[0])
+		usage(stderr)
+		return 2
 	}
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, `graphpim — GraphPIM (HPCA 2017) reproduction harness
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `graphpim — GraphPIM (HPCA 2017) reproduction harness
 
 commands:
   list                                   list all experiments
   run [flags] all|<id>...                run experiments, print tables
+  replay -in DIR [all|<id>...]           regenerate tables from a recorded run
   workload [flags] <name>                simulate one workload
   report [flags] [-o FILE]               run everything, write a Markdown report
   trace [flags] <name>|-replay FILE      generate/save or replay instruction traces
@@ -70,16 +91,22 @@ run/workload flags:
   -vertices N      LDBC graph size (default 16384)
   -seed S          generator seed (default 7)
   -j N             parallel workers for simulation cells (default: all CPUs)
+  -format F        output format: text|json|csv (default text)
+  -out DIR         write per-experiment JSONL records + manifest.json
+  -q               suppress progress output on stderr
+  -cpuprofile F    write a CPU profile of the experiment run
+  -memprofile F    write a heap profile taken after the experiment run
   -config C        workload config: baseline|upei|graphpim (workload cmd)`)
 }
 
-func cmdList() {
+func cmdList(w io.Writer) int {
 	for _, ex := range graphpim.Experiments() {
-		fmt.Printf("%-24s %-12s %s\n", ex.ID, ex.Paper, ex.Title)
+		fmt.Fprintf(w, "%-24s %-12s %s\n", ex.ID, ex.Paper, ex.Title)
 	}
 	for _, ex := range graphpim.ExtraExperiments() {
-		fmt.Printf("%-24s %-12s %s\n", ex.ID, "extra", ex.Title)
+		fmt.Fprintf(w, "%-24s %-12s %s\n", ex.ID, "extra", ex.Title)
 	}
+	return 0
 }
 
 func makeEnv(quick bool, vertices int, seed uint64) *graphpim.Env {
@@ -99,93 +126,282 @@ func makeEnv(quick bool, vertices int, seed uint64) *graphpim.Env {
 	return env
 }
 
-func cmdRun(args []string) {
-	fs := flag.NewFlagSet("run", flag.ExitOnError)
+// validFormat checks the -format flag value.
+func validFormat(f string) bool {
+	return f == "text" || f == "json" || f == "csv"
+}
+
+// flagValues snapshots every flag of fs (set or default) for the run
+// manifest.
+func flagValues(fs *flag.FlagSet) map[string]string {
+	m := make(map[string]string)
+	fs.VisitAll(func(f *flag.Flag) { m[f.Name] = f.Value.String() })
+	return m
+}
+
+// resolveExperiments maps requested ids to experiments; "all" selects
+// the full paper evaluation. An unknown id is reported together with
+// the valid ids in registry order.
+func resolveExperiments(ids []string, stderr io.Writer) ([]graphpim.Experiment, bool) {
+	if len(ids) == 1 && ids[0] == "all" {
+		return graphpim.Experiments(), true
+	}
+	var exps []graphpim.Experiment
+	for _, id := range ids {
+		ex, err := graphpim.ExperimentByID(id)
+		if err != nil {
+			fmt.Fprintf(stderr, "run: unknown experiment %q\n", id)
+			fmt.Fprintln(stderr, "valid experiments (registry order):")
+			for _, e := range graphpim.Experiments() {
+				fmt.Fprintf(stderr, "  %s\n", e.ID)
+			}
+			for _, e := range graphpim.ExtraExperiments() {
+				fmt.Fprintf(stderr, "  %s\n", e.ID)
+			}
+			return nil, false
+		}
+		exps = append(exps, ex)
+	}
+	return exps, true
+}
+
+func cmdRun(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	quick := fs.Bool("quick", false, "small-scale environment")
 	vertices := fs.Int("vertices", 0, "LDBC graph size override")
 	seed := fs.Uint64("seed", 0, "generator seed override")
-	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	format := fs.String("format", "text", "output format: text|json|csv")
+	csv := fs.Bool("csv", false, "deprecated alias for -format csv")
+	outDir := fs.String("out", "", "write JSONL records + manifest.json to this directory")
+	quiet := fs.Bool("q", false, "suppress progress output")
+	cpuprofile := fs.String("cpuprofile", "", "write CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write heap profile to this file")
 	workers := fs.Int("j", runtime.NumCPU(), "parallel workers for simulation cells")
-	_ = fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *workers < 1 {
+		fmt.Fprintf(stderr, "run: -j must be at least 1 (got %d); use -j 1 for a serial run\n", *workers)
+		return 2
+	}
+	if *csv {
+		*format = "csv"
+	}
+	if !validFormat(*format) {
+		fmt.Fprintf(stderr, "run: invalid -format %q (valid: text, json, csv)\n", *format)
+		return 2
+	}
 	ids := fs.Args()
 	if len(ids) == 0 {
-		fmt.Fprintln(os.Stderr, "run: need experiment ids or \"all\"")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "run: need experiment ids or \"all\"")
+		return 2
 	}
+	exps, ok := resolveExperiments(ids, stderr)
+	if !ok {
+		return 2
+	}
+
 	env := makeEnv(*quick, *vertices, *seed)
 	env.Parallelism = *workers
+	if !*quiet {
+		env.Reporter = obs.NewTextReporter(stderr)
+	}
 
-	var exps []graphpim.Experiment
-	if len(ids) == 1 && ids[0] == "all" {
-		exps = graphpim.Experiments()
-	} else {
-		for _, id := range ids {
-			ex, err := graphpim.ExperimentByID(id)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(2)
-			}
-			exps = append(exps, ex)
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(stderr, err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+
+	var writer *obs.RunWriter
+	if *outDir != "" {
+		var err error
+		writer, err = obs.NewRunWriter(*outDir, env.Info(), flagValues(fs))
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 	}
-	runExperiments(os.Stdout, env, exps, *csv, !*csv)
+
+	if err := runExperiments(stdout, env, exps, *format, writer); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(stderr, err)
+			f.Close()
+			return 1
+		}
+		f.Close()
+	}
+	return 0
 }
 
-// experimentOutput is one experiment's rendered table, tagged with its
-// position in the requested experiment list.
-type experimentOutput struct {
-	index   int
-	ex      graphpim.Experiment
-	table   *graphpim.Table
-	elapsed time.Duration
+// tableJSON is a Table's JSON shape: one object per experiment, emitted
+// as a JSON stream in list order.
+type tableJSON struct {
+	ID      string     `json:"id"`
+	Paper   string     `json:"paper,omitempty"`
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
 }
 
-// runExperiments executes exps against env and writes every table to w in
-// list (registry) order. The parallel engine may complete an experiment's
-// simulation cells in any order, so outputs are collected tagged with
-// their list index and stable-sorted by it before printing — the rendered
-// stream is identical at any -j.
-func runExperiments(w io.Writer, env *graphpim.Env, exps []graphpim.Experiment, csv, timings bool) {
-	outputs := make([]experimentOutput, 0, len(exps))
-	for i, ex := range exps {
-		start := time.Now()
-		tb := env.RunExperiment(context.Background(), ex)
-		outputs = append(outputs, experimentOutput{
-			index: i, ex: ex, table: tb, elapsed: time.Since(start),
+// printTable renders one experiment's table in the requested format.
+// Output carries no wall-clock timings, so it is byte-identical at any
+// -j and across repeat runs (timings live in the manifest and on the
+// stderr progress reporter).
+func printTable(w io.Writer, ex graphpim.Experiment, tb *graphpim.Table, format string) error {
+	switch format {
+	case "json":
+		return json.NewEncoder(w).Encode(tableJSON{
+			ID: tb.ID, Paper: ex.Paper, Title: tb.Title,
+			Headers: tb.Headers, Rows: tb.Rows, Notes: tb.Notes,
 		})
+	case "csv":
+		fmt.Fprintf(w, "# %s (%s) — %s\n", ex.ID, ex.Paper, ex.Title)
+		fmt.Fprintln(w, tb.CSV())
+	default:
+		fmt.Fprintf(w, "# %s (%s) — %s\n", ex.ID, ex.Paper, ex.Title)
+		fmt.Fprintln(w, tb.String())
 	}
-	sort.SliceStable(outputs, func(a, b int) bool { return outputs[a].index < outputs[b].index })
-	for _, out := range outputs {
-		fmt.Fprintf(w, "# %s (%s) — %s\n", out.ex.ID, out.ex.Paper, out.ex.Title)
-		if csv {
-			fmt.Fprintln(w, out.table.CSV())
-		} else {
-			fmt.Fprintln(w, out.table.String())
-			if timings {
-				fmt.Fprintf(w, "(%s)\n\n", out.elapsed.Round(time.Millisecond))
-			}
-		}
-	}
+	return nil
 }
 
-func cmdWorkload(args []string) {
-	fs := flag.NewFlagSet("workload", flag.ExitOnError)
+// runExperiments executes exps against env in list order, printing every
+// table to w and, when writer is non-nil, exporting each experiment's
+// cell records plus the run manifest.
+func runExperiments(w io.Writer, env *graphpim.Env, exps []graphpim.Experiment, format string, writer *obs.RunWriter) error {
+	start := time.Now()
+	for _, ex := range exps {
+		tb, runInfo, recs := env.RunExperimentObserved(context.Background(), ex)
+		if writer != nil {
+			if err := writer.WriteExperiment(runInfo, recs); err != nil {
+				return err
+			}
+		}
+		if err := printTable(w, ex, tb, format); err != nil {
+			return err
+		}
+	}
+	if writer != nil {
+		return writer.Close(time.Since(start))
+	}
+	return nil
+}
+
+// cmdReplay regenerates experiment tables from a run directory written
+// by `run -out`: the recorded cell results are preloaded into a fresh
+// Env, so replaying assembles every table without simulating.
+func cmdReplay(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("replay", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	in := fs.String("in", "", "run directory containing manifest.json")
+	format := fs.String("format", "text", "output format: text|json|csv")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *in == "" {
+		fmt.Fprintln(stderr, "replay: need -in DIR")
+		return 2
+	}
+	if !validFormat(*format) {
+		fmt.Fprintf(stderr, "replay: invalid -format %q (valid: text, json, csv)\n", *format)
+		return 2
+	}
+	m, err := obs.LoadManifest(*in)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+
+	runs := m.Experiments
+	if ids := fs.Args(); len(ids) > 0 && !(len(ids) == 1 && ids[0] == "all") {
+		want := make(map[string]bool, len(ids))
+		for _, id := range ids {
+			want[id] = true
+		}
+		var filtered []obs.ExperimentRun
+		for _, r := range runs {
+			if want[r.ID] {
+				filtered = append(filtered, r)
+				delete(want, r.ID)
+			}
+		}
+		for id := range want {
+			fmt.Fprintf(stderr, "replay: experiment %q not in %s\n", id, *in)
+			return 2
+		}
+		runs = filtered
+	}
+
+	// Replay serially: every cell is a preloaded memo hit, so there is
+	// nothing to parallelize and the output order is the record order.
+	env := harness.EnvFromInfo(m.Env)
+	env.Parallelism = 1
+	for _, r := range runs {
+		recs, err := obs.LoadRecords(*in, r)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		env.PreloadRecords(recs)
+		ex, err := graphpim.ExperimentByID(r.ID)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		tb := env.RunExperiment(context.Background(), ex)
+		if err := printTable(stdout, ex, tb, *format); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	}
+	return 0
+}
+
+func cmdWorkload(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("workload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	quick := fs.Bool("quick", false, "small-scale environment")
 	vertices := fs.Int("vertices", 16384, "LDBC graph size")
 	seed := fs.Uint64("seed", 7, "generator seed")
 	config := fs.String("config", "graphpim", "baseline|upei|graphpim")
-	_ = fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	if fs.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "workload: need exactly one workload name")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "workload: need exactly one workload name")
+		return 2
 	}
 	if *quick {
 		*vertices = 2048
 	}
 	w, err := graphpim.WorkloadByName(fs.Arg(0))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
 	g := graphpim.GenerateLDBC(*vertices, *seed)
 	run := graphpim.NewRun(g, graphpim.DefaultOptions())
@@ -200,8 +416,8 @@ func cmdWorkload(args []string) {
 	case "graphpim":
 		cfg = graphpim.ConfigGraphPIM
 	default:
-		fmt.Fprintf(os.Stderr, "unknown config %q\n", *config)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "unknown config %q\n", *config)
+		return 2
 	}
 	res := base
 	if cfg != graphpim.ConfigBaseline {
@@ -209,18 +425,19 @@ func cmdWorkload(args []string) {
 	}
 
 	info := w.Info()
-	fmt.Printf("workload:   %s (%s, %s)\n", info.Name, info.Full, info.Category)
-	fmt.Printf("graph:      LDBC-like, %d vertices, %d edges, seed %d\n",
+	fmt.Fprintf(stdout, "workload:   %s (%s, %s)\n", info.Name, info.Full, info.Category)
+	fmt.Fprintf(stdout, "graph:      LDBC-like, %d vertices, %d edges, seed %d\n",
 		g.NumVertices(), g.NumEdges(), *seed)
-	fmt.Printf("config:     %s\n", res.Config)
-	fmt.Printf("cycles:     %d\n", res.Cycles)
-	fmt.Printf("instrs:     %d\n", res.Instructions)
-	fmt.Printf("IPC/core:   %.3f\n", res.IPC(16))
-	fmt.Printf("L3 MPKI:    %.1f\n", res.MPKI("cache.l3"))
-	fmt.Printf("link FLITs: %d\n", res.TotalFlits())
+	fmt.Fprintf(stdout, "config:     %s\n", res.Config)
+	fmt.Fprintf(stdout, "cycles:     %d\n", res.Cycles)
+	fmt.Fprintf(stdout, "instrs:     %d\n", res.Instructions)
+	fmt.Fprintf(stdout, "IPC/core:   %.3f\n", res.IPC(16))
+	fmt.Fprintf(stdout, "L3 MPKI:    %.1f\n", res.MPKI("cache.l3"))
+	fmt.Fprintf(stdout, "link FLITs: %d\n", res.TotalFlits())
 	if cfg != graphpim.ConfigBaseline {
-		fmt.Printf("speedup:    %.2fx over baseline (%d cycles)\n", res.Speedup(base), base.Cycles)
+		fmt.Fprintf(stdout, "speedup:    %.2fx over baseline (%d cycles)\n", res.Speedup(base), base.Cycles)
 	}
-	fmt.Printf("offloaded:  %d PIM atomics, %d host atomics\n",
+	fmt.Fprintf(stdout, "offloaded:  %d PIM atomics, %d host atomics\n",
 		res.Stats["mem.pim_atomics"], res.Stats["mem.host_atomics"])
+	return 0
 }

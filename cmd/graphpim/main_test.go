@@ -51,7 +51,9 @@ func TestRunExperimentsRegistryOrder(t *testing.T) {
 
 	render := func(workers int) string {
 		var buf bytes.Buffer
-		runExperiments(&buf, testCLIEnv(workers), exps, false, false)
+		if err := runExperiments(&buf, testCLIEnv(workers), exps, "text", nil); err != nil {
+			t.Fatal(err)
+		}
 		return buf.String()
 	}
 	serial := render(1)

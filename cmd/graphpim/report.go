@@ -4,6 +4,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"time"
@@ -14,22 +15,29 @@ import (
 // cmdReport runs the full evaluation (optionally including the extras)
 // and writes a Markdown report with every recorded table — the generator
 // behind EXPERIMENTS.md-style documents.
-func cmdReport(args []string) {
-	fs := flag.NewFlagSet("report", flag.ExitOnError)
+func cmdReport(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("report", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	quick := fs.Bool("quick", false, "small-scale environment")
 	vertices := fs.Int("vertices", 0, "LDBC graph size override")
 	seed := fs.Uint64("seed", 0, "generator seed override")
 	out := fs.String("o", "report.md", "output file")
 	extras := fs.Bool("extras", true, "include extension experiments")
 	workers := fs.Int("j", runtime.NumCPU(), "parallel workers for simulation cells")
-	_ = fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *workers < 1 {
+		fmt.Fprintf(stderr, "report: -j must be at least 1 (got %d); use -j 1 for a serial run\n", *workers)
+		return 2
+	}
 
 	env := makeEnv(*quick, *vertices, *seed)
 	env.Parallelism = *workers
 	f, err := os.Create(*out)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
 	defer f.Close()
 
@@ -42,7 +50,7 @@ func cmdReport(args []string) {
 		for _, ex := range exps {
 			start := time.Now()
 			tb := env.RunExperiment(context.Background(), ex)
-			fmt.Fprintf(os.Stderr, "%-24s done in %s\n", ex.ID, time.Since(start).Round(time.Millisecond))
+			fmt.Fprintf(stderr, "%-24s done in %s\n", ex.ID, time.Since(start).Round(time.Millisecond))
 			fmt.Fprintf(f, "### %s (%s)\n\n%s\n\n```\n%s```\n\n", ex.ID, ex.Paper, ex.Title, tb.String())
 		}
 	}
@@ -50,5 +58,6 @@ func cmdReport(args []string) {
 	if *extras {
 		run(graphpim.ExtraExperiments(), "Extension experiments")
 	}
-	fmt.Fprintf(os.Stderr, "report written to %s\n", *out)
+	fmt.Fprintf(stderr, "report written to %s\n", *out)
+	return 0
 }

@@ -99,10 +99,6 @@ func table8AppCounters() Experiment {
 				base, _ := e.appRun(app)
 				st := base.Stats
 				l3a, l3m := st["cache.l3.access"], st["cache.l3.miss"]
-				var hitRate float64
-				if l3a > 0 {
-					hitRate = 1 - float64(l3m)/float64(l3a)
-				}
 				total := float64(base.Cycles) * float64(e.Threads)
 				active := float64(st["cpu.cycles.active"])
 				frontend := float64(st["cpu.frontend_cycles"])
@@ -113,7 +109,7 @@ func table8AppCounters() Experiment {
 				out[app] = row{
 					ipc:      f3(base.IPC(e.Threads)),
 					mpki:     f2(base.MPKI("cache.l3")),
-					hit:      pct(hitRate),
+					hit:      ratioStr(l3a-l3m, l3a, pct),
 					backend:  pct(backend),
 					pimPct:   pct(atomics / float64(base.Instructions)),
 					hostOv:   pct(in.HostOverheadPct()),

@@ -110,10 +110,62 @@ func TestRecordingDiscoversCells(t *testing.T) {
 	}
 	// Recording must not simulate: every slot still has its compute
 	// closure pending.
-	for i, s := range plan {
-		if s.compute == nil {
+	for i, c := range plan {
+		if c.slot.compute == nil {
 			t.Fatalf("plan[%d] was computed during recording", i)
 		}
+	}
+}
+
+// TestObservedExportAndPreloadRoundTrip checks the observability
+// contract end to end at the harness level: RunExperimentObserved must
+// export one record per cell with the full memo key and counter
+// snapshot, and PreloadRecords into a fresh Env must regenerate the
+// identical table without simulating anything (no graph or trace is
+// ever built).
+func TestObservedExportAndPreloadRoundTrip(t *testing.T) {
+	ex, err := ByID("ext-dependent-block")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1 := testEnv(4)
+	t1, run, recs := e1.RunExperimentObserved(context.Background(), ex)
+	if run.ID != ex.ID {
+		t.Fatalf("run.ID = %q, want %q", run.ID, ex.ID)
+	}
+	// 3 dependent-block lengths x 2 configs.
+	if len(recs) != 6 {
+		t.Fatalf("exported %d records, want 6", len(recs))
+	}
+	if run.Cells != len(recs) {
+		t.Fatalf("run.Cells = %d, records = %d", run.Cells, len(recs))
+	}
+	if len(run.Phases) == 0 {
+		t.Fatal("no phase timings recorded for a parallel run")
+	}
+	for i, r := range recs {
+		if r.Experiment != ex.ID {
+			t.Fatalf("record %d tagged %q", i, r.Experiment)
+		}
+		if r.Cycles == 0 || len(r.Stats) == 0 {
+			t.Fatalf("record %d is empty: %+v", i, r)
+		}
+		if !r.IPC.IsValid() {
+			t.Fatalf("record %d has invalid IPC for nonzero cycles", i)
+		}
+	}
+
+	e2 := testEnv(1)
+	e2.PreloadRecords(recs)
+	t2 := e2.RunExperiment(context.Background(), ex)
+	if t2.String() != t1.String() {
+		t.Fatalf("preloaded replay differs:\n--- live ---\n%s\n--- replay ---\n%s", t1, t2)
+	}
+	e2.mu.Lock()
+	defer e2.mu.Unlock()
+	if len(e2.graphs) != 0 || len(e2.traces) != 0 {
+		t.Fatalf("preloaded replay simulated: %d graphs, %d traces built",
+			len(e2.graphs), len(e2.traces))
 	}
 }
 

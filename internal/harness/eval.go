@@ -85,11 +85,8 @@ func fig10MissRate() Experiment {
 			for _, w := range workloads.EvalSet() {
 				res := e.Run(w, KindBaseline)
 				c := res.Stats["pou.candidates"]
-				var rate float64
-				if c > 0 {
-					rate = float64(res.Stats["pou.candidates.miss"]) / float64(c)
-				}
-				t.AddRow(w.Info().Name, fmt.Sprintf("%d", c), pct(rate))
+				t.AddRow(w.Info().Name, fmt.Sprintf("%d", c),
+					ratioStr(res.Stats["pou.candidates.miss"], c, pct))
 			}
 			t.Notes = append(t.Notes,
 				"paper shape: most workloads above 80% miss; kCore/TC/BC relatively lower")
@@ -144,13 +141,13 @@ func fig12Bandwidth() Experiment {
 				Headers: []string{"workload", "config", "request", "response", "total"}}
 			for _, w := range workloads.EvalSet() {
 				base := e.Run(w, KindBaseline)
-				baseTotal := float64(base.TotalFlits())
+				baseTotal := base.TotalFlits()
 				for _, kind := range []ConfigKind{KindBaseline, KindUPEI, KindGraphPIM} {
 					r := e.Run(w, kind)
 					t.AddRow(w.Info().Name, r.Config,
-						f2(float64(r.Stats["hmc.flits.req"])/baseTotal),
-						f2(float64(r.Stats["hmc.flits.rsp"])/baseTotal),
-						f2(float64(r.TotalFlits())/baseTotal))
+						ratioStr(r.Stats["hmc.flits.req"], baseTotal, f2),
+						ratioStr(r.Stats["hmc.flits.rsp"], baseTotal, f2),
+						ratioStr(r.TotalFlits(), baseTotal, f2))
 				}
 			}
 			t.Notes = append(t.Notes,

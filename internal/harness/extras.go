@@ -110,13 +110,8 @@ func extPrefetch() Experiment {
 					})
 					row = append(row, speedupStr(r.Speedup(base)))
 					if depth == 2 {
-						issued := r.Stats["cache.prefetch.issued"]
-						useful := r.Stats["cache.prefetch.useful"]
-						if issued > 0 {
-							acc = pct(float64(useful) / float64(issued))
-						} else {
-							acc = "-"
-						}
+						acc = ratioStr(r.Stats["cache.prefetch.useful"],
+							r.Stats["cache.prefetch.issued"], pct)
 					}
 				}
 				row = append(row, acc, speedupStr(e.Run(w, KindGraphPIM).Speedup(base)))

@@ -17,10 +17,12 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"graphpim/internal/gframe"
 	"graphpim/internal/graph"
 	"graphpim/internal/machine"
+	"graphpim/internal/obs"
 	"graphpim/internal/trace"
 	"graphpim/internal/workloads"
 )
@@ -63,12 +65,21 @@ type Env struct {
 	// runs serially, <= 0 selects GOMAXPROCS.
 	Parallelism int
 
+	// Reporter receives engine progress events (per-cell completions,
+	// per-phase durations); nil means silent. Implementations must be
+	// safe for concurrent use — warm-phase cell completions arrive
+	// straight off the worker pool.
+	Reporter obs.Reporter
+
 	mu     sync.Mutex
 	graphs map[int]*graphSlot
 	traces map[traceKey]*traceSlot
 	runs   map[runKey]*runSlot
 	// rec is non-nil during the engine's recording pass (engine.go).
 	rec *recorder
+	// col is non-nil during an observed replay pass (engine.go): it
+	// collects every cell the experiment touches, in first-touch order.
+	col *collector
 }
 
 type traceKey struct {
@@ -117,11 +128,17 @@ type runSlot struct {
 	once    sync.Once
 	compute func() machine.Result
 	res     machine.Result
+	// wall is the host time the cell took to simulate (0 for cells
+	// preloaded from a recorded run); written inside the once guard, so
+	// any get() caller observes it.
+	wall time.Duration
 }
 
 func (s *runSlot) get() machine.Result {
 	s.once.Do(func() {
+		start := time.Now()
 		s.res = s.compute()
+		s.wall = time.Since(start)
 		s.compute = nil
 	})
 	return s.res
@@ -239,7 +256,9 @@ func (e *Env) traceCell(key traceKey, build func() *tracedRun) *tracedRun {
 // compute on first use. During the engine's recording pass the cell is
 // only registered in the plan and a zero Result is returned — experiment
 // logic never branches on result values while recording, and the pass's
-// output is discarded.
+// output is discarded. During an observed replay pass the cell is also
+// registered with the collector, so RunExperimentObserved can export a
+// Record for every cell the experiment touched.
 func (e *Env) runCell(key runKey, compute func() machine.Result) machine.Result {
 	e.mu.Lock()
 	e.initLocked()
@@ -249,9 +268,12 @@ func (e *Env) runCell(key runKey, compute func() machine.Result) machine.Result 
 		e.runs[key] = s
 	}
 	rec := e.rec
+	if rec == nil && e.col != nil {
+		e.col.add(key, s)
+	}
 	e.mu.Unlock()
 	if rec != nil {
-		rec.add(s)
+		rec.add(key, s)
 		return machine.Result{}
 	}
 	return s.get()
@@ -410,7 +432,17 @@ func ByID(id string) (Experiment, error) {
 
 // helpers shared by experiments
 
-func pct(x float64) string        { return fmt.Sprintf("%.1f%%", x*100) }
+func pct(x float64) string { return fmt.Sprintf("%.1f%%", x*100) }
+
+// ratioStr renders num/den through format, or "n/a" when the denominator
+// is zero: a zero denominator is a distinct outcome, not a legitimate 0,
+// and must not print as "0.0%" (mirrors sim.Stats.Ratio returning NaN).
+func ratioStr(num, den uint64, format func(float64) string) string {
+	if den == 0 {
+		return "n/a"
+	}
+	return format(float64(num) / float64(den))
+}
 func f2(x float64) string         { return fmt.Sprintf("%.2f", x) }
 func f3(x float64) string         { return fmt.Sprintf("%.3f", x) }
 func speedupStr(x float64) string { return fmt.Sprintf("%.2fx", x) }

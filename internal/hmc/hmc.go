@@ -13,6 +13,7 @@ package hmc
 
 import (
 	"fmt"
+	"math"
 
 	"graphpim/internal/hmcatomic"
 	"graphpim/internal/memmap"
@@ -269,7 +270,11 @@ func (l *linkLane) reserve(ready uint64, flits int) uint64 {
 			if es := e * l.epochCycles; es > start {
 				start = es
 			}
-			ser := uint64(float64(flits)*l.perFlitDelay) + 1
+			// Serialization rounds up to whole cycles: flits*perFlitDelay
+			// exactly (no +1 — truncate-plus-one overcharged a cycle
+			// whenever the product was a whole number of cycles, e.g. 15
+			// FLITs at 15 FLITs/cycle must cost 1 cycle, not 2).
+			ser := uint64(math.Ceil(float64(flits) * l.perFlitDelay))
 			return start + ser
 		}
 		e++

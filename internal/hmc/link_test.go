@@ -72,6 +72,36 @@ func TestLinkLaneProperty(t *testing.T) {
 	}
 }
 
+// TestLinkLaneSerializationCeil pins the serialization delay to ceil
+// semantics: a packet whose FLIT count divides the link rate exactly
+// must pay exactly flits/rate cycles. The old truncate-plus-one formula
+// overcharged one cycle at every exact boundary (15 FLITs at 15
+// FLITs/cycle cost 2 cycles instead of 1).
+func TestLinkLaneSerializationCeil(t *testing.T) {
+	cases := []struct {
+		rate  float64
+		flits int
+		want  uint64 // serialization cycles beyond the ready time
+	}{
+		{15, 15, 1}, // exact boundary: one full cycle, not two
+		{15, 30, 2}, // two full cycles
+		{15, 5, 1},  // partial cycle rounds up
+		{15, 16, 2}, // just past a boundary
+		{2, 4, 2},   // exact at a small rate
+		{2, 5, 3},   // partial at a small rate
+		{0.5, 1, 2}, // sub-FLIT/cycle link: 1 FLIT takes 2 cycles
+		{0.5, 3, 6}, // and scales linearly
+	}
+	for _, c := range cases {
+		l := newLinkLane(c.rate)
+		const ready = 64 // epoch-aligned so no epoch rounding interferes
+		if got := l.reserve(ready, c.flits); got != ready+c.want {
+			t.Errorf("rate %v: reserve(%d, %d flits) = %d, want %d",
+				c.rate, ready, c.flits, got, ready+c.want)
+		}
+	}
+}
+
 func TestLinkLaneSlotRecycling(t *testing.T) {
 	l := newLinkLane(15)
 	slots := uint64(len(l.epochs))

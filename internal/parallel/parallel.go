@@ -15,6 +15,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Workers clamps a requested worker count: n <= 0 selects GOMAXPROCS
@@ -37,8 +38,25 @@ func Workers(n int) int {
 // propagates to the ForEach caller (after the other workers drain) rather
 // than killing the process from an anonymous goroutine.
 func ForEach(ctx context.Context, workers, n int, fn func(i int)) error {
+	return ForEachTimed(ctx, workers, n, fn, nil)
+}
+
+// ForEachTimed is ForEach with a per-index completion callback: after
+// fn(i) returns, onDone(i, d) is invoked with the index's wall time,
+// from the same goroutine that ran fn. With more than one worker onDone
+// fires concurrently, so it must be safe for concurrent use. A nil
+// onDone makes ForEachTimed identical to ForEach.
+func ForEachTimed(ctx context.Context, workers, n int, fn func(i int), onDone func(i int, d time.Duration)) error {
 	if n <= 0 {
 		return ctx.Err()
+	}
+	call := fn
+	if onDone != nil {
+		call = func(i int) {
+			start := time.Now()
+			fn(i)
+			onDone(i, time.Since(start))
+		}
 	}
 	w := Workers(workers)
 	if w > n {
@@ -52,7 +70,7 @@ func ForEach(ctx context.Context, workers, n int, fn func(i int)) error {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			fn(i)
+			call(i)
 		}
 		return nil
 	}
@@ -84,7 +102,7 @@ func ForEach(ctx context.Context, workers, n int, fn func(i int)) error {
 				if i >= n {
 					return
 				}
-				fn(i)
+				call(i)
 			}
 		}()
 	}

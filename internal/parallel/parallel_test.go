@@ -4,6 +4,7 @@ import (
 	"context"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestForEachRunsEveryIndexOnce(t *testing.T) {
@@ -73,6 +74,37 @@ func TestForEachEmpty(t *testing.T) {
 		t.Fatal("fn called for empty range")
 	}); err != nil {
 		t.Fatalf("unexpected error %v", err)
+	}
+}
+
+func TestForEachTimedCallback(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		const n = 33
+		var ran, done [n]atomic.Int32
+		var order atomic.Int32
+		err := ForEachTimed(context.Background(), workers, n,
+			func(i int) { ran[i].Add(1) },
+			func(i int, d time.Duration) {
+				if ran[i].Load() != 1 {
+					t.Errorf("workers=%d: onDone(%d) before fn(%d)", workers, i, i)
+				}
+				if d < 0 {
+					t.Errorf("workers=%d: negative duration for %d", workers, i)
+				}
+				done[i].Add(1)
+				order.Add(1)
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range done {
+			if done[i].Load() != 1 {
+				t.Fatalf("workers=%d: onDone for index %d ran %d times", workers, i, done[i].Load())
+			}
+		}
+		if order.Load() != n {
+			t.Fatalf("workers=%d: %d onDone calls, want %d", workers, order.Load(), n)
+		}
 	}
 }
 

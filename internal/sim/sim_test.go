@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 )
@@ -115,12 +116,29 @@ func TestStatsBasics(t *testing.T) {
 	if r := s.Ratio("b", "a"); r < 3.32 || r > 3.34 {
 		t.Fatalf("Ratio = %v, want ~3.33", r)
 	}
-	if r := s.Ratio("a", "zero"); r != 0 {
-		t.Fatalf("Ratio with zero denominator = %v, want 0", r)
+	if r := s.Ratio("a", "zero"); !math.IsNaN(r) {
+		t.Fatalf("Ratio with zero denominator = %v, want NaN", r)
 	}
 	names := s.Names()
 	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
 		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestStatsOrderedSnapshot(t *testing.T) {
+	s := NewStats()
+	s.Set("z", 26)
+	s.Set("a", 1)
+	s.Set("m", 13)
+	snap := s.OrderedSnapshot()
+	if len(snap) != 3 {
+		t.Fatalf("OrderedSnapshot has %d entries", len(snap))
+	}
+	want := []NamedValue{{"a", 1}, {"m", 13}, {"z", 26}}
+	for i, kv := range snap {
+		if kv != want[i] {
+			t.Fatalf("OrderedSnapshot[%d] = %+v, want %+v", i, kv, want[i])
+		}
 	}
 }
 

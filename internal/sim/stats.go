@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 )
@@ -96,11 +97,32 @@ func (s *Stats) Snapshot() map[string]uint64 {
 	return out
 }
 
-// Ratio returns counter a divided by counter b, or 0 when b is zero.
+// NamedValue is one counter in a stable snapshot.
+type NamedValue struct {
+	Name  string
+	Value uint64
+}
+
+// OrderedSnapshot returns a copy of all counters in stable (name-sorted)
+// order, for exporters that must emit counters byte-identically across
+// runs regardless of map iteration order.
+func (s *Stats) OrderedSnapshot() []NamedValue {
+	out := make([]NamedValue, 0, len(s.counters))
+	for k, p := range s.counters {
+		out = append(out, NamedValue{Name: k, Value: *p})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Ratio returns counter a divided by counter b, or NaN when b is zero.
+// A zero denominator is a distinct outcome, not a legitimate 0: render
+// it as "n/a" in text and null in JSON (see internal/obs.Float) instead
+// of a misleading "0.00".
 func (s *Stats) Ratio(a, b string) float64 {
 	den := s.Get(b)
 	if den == 0 {
-		return 0
+		return math.NaN()
 	}
 	return float64(s.Get(a)) / float64(den)
 }
@@ -109,8 +131,8 @@ func (s *Stats) Ratio(a, b string) float64 {
 // name; useful for debugging and golden tests.
 func (s *Stats) String() string {
 	var b strings.Builder
-	for _, n := range s.Names() {
-		fmt.Fprintf(&b, "%s = %d\n", n, s.Get(n))
+	for _, kv := range s.OrderedSnapshot() {
+		fmt.Fprintf(&b, "%s = %d\n", kv.Name, kv.Value)
 	}
 	return b.String()
 }
