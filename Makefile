@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench
+.PHONY: build vet test race bench bench-json
 
 build:
 	$(GO) build ./...
@@ -24,3 +24,10 @@ race:
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./...
+
+# bench-json records the simulator throughput benchmarks (best of 3
+# reps) into the committed trajectory file BENCH_pr3.json under the
+# "after" phase, preserving the recorded "before" baseline. Run it after
+# a performance-relevant change and commit the updated file.
+bench-json:
+	$(GO) run ./cmd/benchjson -out BENCH_pr3.json -phase after

@@ -14,7 +14,10 @@ import (
 	"sync"
 	"testing"
 
+	"graphpim/internal/machine"
+	"graphpim/internal/memmap"
 	"graphpim/internal/sim"
+	"graphpim/internal/trace"
 )
 
 var (
@@ -142,6 +145,59 @@ func BenchmarkStatsHotPath(b *testing.B) {
 			loads[i%3].Inc()
 		}
 	})
+}
+
+// benchTrace builds a BFS-like synthetic trace (the Fig. 3 access mix:
+// meta accesses, sequential structure loads, irregular property loads,
+// and lock-free CAS updates) sized for steady-state machine replay.
+func benchTrace(threads, opsPerThread int) (*memmap.AddressSpace, *trace.Trace) {
+	const propVerts = 1 << 18
+	sp := memmap.NewAddressSpace()
+	meta := sp.AllocMeta(4096)
+	structure := sp.AllocStruct(propVerts * 8)
+	prop := sp.PMRMalloc(propVerts * 8)
+	b := trace.NewBuilder(sp, threads)
+	r := sim.NewRand(42)
+	for t := 0; t < threads; t++ {
+		e := b.Thread(t)
+		for i := 0; i < opsPerThread; i++ {
+			e.Load(meta+memmap.Addr((i%32)*8), 8, false)
+			e.Compute(2)
+			e.Load(structure+memmap.Addr((i%propVerts)*8), 8, false)
+			if i%4 == 0 {
+				e.Load(prop+memmap.Addr(r.Intn(propVerts)*8), 8, true)
+			}
+			e.Atomic(trace.AtomicCAS, prop+memmap.Addr(r.Intn(propVerts)*8), 8,
+				false, true, r.Intn(10) == 0)
+			e.DependentCompute(3)
+			e.Store(meta+memmap.Addr((i%32)*8), 8, false)
+		}
+	}
+	b.Barrier()
+	tr := b.Build()
+	sp.Freeze()
+	tr.Freeze()
+	return sp, tr
+}
+
+// BenchmarkMachineRun measures one full machine replay per configuration
+// on the shared synthetic trace: the pure cost of the event scheduler,
+// core model, cache hierarchy, and HMC, with no trace generation inside
+// the timed loop.
+func BenchmarkMachineRun(b *testing.B) {
+	sp, tr := benchTrace(16, 2000)
+	instrs := tr.TotalInstructions()
+	for _, cfg := range []machine.Config{
+		machine.Baseline(), machine.GraphPIM(false), machine.UPEI(false),
+	} {
+		b.Run(cfg.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				machine.RunTrace(cfg, sp, tr)
+			}
+			b.ReportMetric(float64(instrs)*float64(b.N)/b.Elapsed().Seconds(), "instrs/s")
+		})
+	}
 }
 
 // BenchmarkSimulatorThroughput measures raw simulation speed: simulated

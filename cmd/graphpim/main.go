@@ -25,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -37,6 +38,15 @@ import (
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// fmtRatio formats a derived metric, rendering the NaN that
+// machine.Result returns for zero-denominator ratios as "n/a".
+func fmtRatio(x float64, format string) string {
+	if math.IsNaN(x) {
+		return "n/a"
+	}
+	return fmt.Sprintf(format, x)
 }
 
 // run is the testable CLI entry point: it dispatches on the subcommand
@@ -431,11 +441,12 @@ func cmdWorkload(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "config:     %s\n", res.Config)
 	fmt.Fprintf(stdout, "cycles:     %d\n", res.Cycles)
 	fmt.Fprintf(stdout, "instrs:     %d\n", res.Instructions)
-	fmt.Fprintf(stdout, "IPC/core:   %.3f\n", res.IPC(16))
-	fmt.Fprintf(stdout, "L3 MPKI:    %.1f\n", res.MPKI("cache.l3"))
+	fmt.Fprintf(stdout, "IPC/core:   %s\n", fmtRatio(res.IPC(16), "%.3f"))
+	fmt.Fprintf(stdout, "L3 MPKI:    %s\n", fmtRatio(res.MPKI("cache.l3"), "%.1f"))
 	fmt.Fprintf(stdout, "link FLITs: %d\n", res.TotalFlits())
 	if cfg != graphpim.ConfigBaseline {
-		fmt.Fprintf(stdout, "speedup:    %.2fx over baseline (%d cycles)\n", res.Speedup(base), base.Cycles)
+		fmt.Fprintf(stdout, "speedup:    %s over baseline (%d cycles)\n",
+			fmtRatio(res.Speedup(base), "%.2fx"), base.Cycles)
 	}
 	fmt.Fprintf(stdout, "offloaded:  %d PIM atomics, %d host atomics\n",
 		res.Stats["mem.pim_atomics"], res.Stats["mem.host_atomics"])

@@ -101,7 +101,7 @@ func replayTrace(path, config string) {
 	fmt.Printf("replayed %s under %s:\n", path, res.Config)
 	fmt.Printf("cycles:     %d\n", res.Cycles)
 	fmt.Printf("instrs:     %d\n", res.Instructions)
-	fmt.Printf("IPC/core:   %.3f\n", res.IPC(16))
+	fmt.Printf("IPC/core:   %s\n", fmtRatio(res.IPC(16), "%.3f"))
 	fmt.Printf("link FLITs: %d\n", res.TotalFlits())
 	fmt.Printf("offloaded:  %d PIM atomics, %d host atomics\n",
 		res.Stats["mem.pim_atomics"], res.Stats["mem.host_atomics"])

@@ -90,15 +90,26 @@ func (a *array) setFor(lineAddr memmap.Addr) []line {
 	return a.sets[(uint64(lineAddr)>>6)&a.setMask]
 }
 
-// lookup returns the line holding lineAddr, or nil.
-func (a *array) lookup(lineAddr memmap.Addr) *line {
-	set := a.setFor(lineAddr)
+// probe resolves lineAddr's set once and returns it together with the
+// line holding lineAddr (nil on a miss). Hierarchy.Access reuses the
+// returned set slice for victim choice and install, so one access walks
+// each array's set index a single time. The slice aliases the array's
+// live backing store — later mutations (evictions, back-invalidations)
+// are visible through it, never stale.
+func (a *array) probe(lineAddr memmap.Addr) (set []line, l *line) {
+	set = a.sets[(uint64(lineAddr)>>6)&a.setMask]
 	for i := range set {
 		if set[i].valid && set[i].tag == lineAddr {
-			return &set[i]
+			return set, &set[i]
 		}
 	}
-	return nil
+	return set, nil
+}
+
+// lookup returns the line holding lineAddr, or nil.
+func (a *array) lookup(lineAddr memmap.Addr) *line {
+	_, l := a.probe(lineAddr)
+	return l
 }
 
 // touch refreshes the LRU stamp of l.
@@ -107,10 +118,9 @@ func (a *array) touch(l *line) {
 	l.lru = a.useCtr
 }
 
-// victim returns the line to replace in lineAddr's set: an invalid slot if
-// one exists, otherwise the least recently used line.
-func (a *array) victim(lineAddr memmap.Addr) *line {
-	set := a.setFor(lineAddr)
+// victimIn returns the line to replace in a precomputed set: an invalid
+// slot if one exists, otherwise the least recently used line.
+func victimIn(set []line) *line {
 	var lru *line
 	for i := range set {
 		if !set[i].valid {
@@ -123,13 +133,22 @@ func (a *array) victim(lineAddr memmap.Addr) *line {
 	return lru
 }
 
-// install replaces the victim slot with a fresh line for lineAddr and
-// returns the evicted line metadata (valid=false when the slot was empty).
-func (a *array) install(lineAddr memmap.Addr, st state, dirty bool) (evicted line) {
-	v := a.victim(lineAddr)
+// installIn replaces the victim slot of a precomputed set with a fresh
+// line for lineAddr, returning the installed line and the evicted
+// metadata (valid=false when the slot was empty). Returning the live
+// pointer saves the lookup-after-install walk the old API forced.
+func (a *array) installIn(set []line, lineAddr memmap.Addr, st state, dirty bool) (l *line, evicted line) {
+	v := victimIn(set)
 	evicted = *v
 	a.useCtr++
 	*v = line{tag: lineAddr, valid: true, st: st, dirty: dirty, lru: a.useCtr, owner: -1}
+	return v, evicted
+}
+
+// install replaces the victim slot in lineAddr's set and returns the
+// evicted line metadata.
+func (a *array) install(lineAddr memmap.Addr, st state, dirty bool) (evicted line) {
+	_, evicted = a.installIn(a.setFor(lineAddr), lineAddr, st, dirty)
 	return evicted
 }
 

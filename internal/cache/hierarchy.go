@@ -260,33 +260,43 @@ func (h *Hierarchy) evictL3(ev line, now uint64) {
 	}
 }
 
-// fillPrivate installs lineAddr into core's L2 and L1 with the given state.
-func (h *Hierarchy) fillPrivate(core int, lineAddr memmap.Addr, st state) {
-	h.evictL2(core, h.l2[core].install(lineAddr, st, false))
-	h.evictL1(core, h.l1[core].install(lineAddr, st, st == stModified))
+// fillPrivate installs lineAddr into core's L2 and L1 with the given
+// state, reusing the set slices the access walk already resolved.
+func (h *Hierarchy) fillPrivate(core int, l1set, l2set []line, lineAddr memmap.Addr, st state) {
+	_, ev2 := h.l2[core].installIn(l2set, lineAddr, st, false)
+	h.evictL2(core, ev2)
+	_, ev1 := h.l1[core].installIn(l1set, lineAddr, st, st == stModified)
+	h.evictL1(core, ev1)
 }
 
 // Access performs a read (write=false) or write/RFO (write=true) by core
 // at addr. now is the absolute cycle at which the access starts, used for
 // backend timing.
+//
+// The walk is single-pass: each array's set index is resolved once
+// (probe), and the returned set slice is reused for lookup, victim
+// choice, and install on the way back up. The slices alias live cache
+// storage, so intervening evictions and back-invalidations remain
+// visible through them.
 func (h *Hierarchy) Access(core int, addr memmap.Addr, write bool, now uint64) AccessResult {
 	lineAddr := memmap.LineAddr(addr)
 	res := AccessResult{}
 	res.Latency = h.cfg.L1Lat
 	h.ctr.l1Access.Inc()
 
-	// L1 lookup.
-	if l := h.l1[core].lookup(lineAddr); l != nil {
-		h.l1[core].touch(l)
+	// L1 probe.
+	l1set, l1l := h.l1[core].probe(lineAddr)
+	if l1l != nil {
+		h.l1[core].touch(l1l)
 		h.ctr.l1Hit.Inc()
 		if !write {
 			res.Level = LevelL1
 			res.WalkLatency = res.Latency
 			return res
 		}
-		if l.st == stModified || l.st == stExclusive {
-			l.st = stModified
-			l.dirty = true
+		if l1l.st == stModified || l1l.st == stExclusive {
+			l1l.st = stModified
+			l1l.dirty = true
 			if l2l := h.l2[core].lookup(lineAddr); l2l != nil {
 				l2l.st = stModified
 			}
@@ -307,8 +317,8 @@ func (h *Hierarchy) Access(core int, addr memmap.Addr, write bool, now uint64) A
 			l3l.owner = int8(core)
 			l3l.sharers = bit(core)
 		}
-		l.st = stModified
-		l.dirty = true
+		l1l.st = stModified
+		l1l.dirty = true
 		if l2l := h.l2[core].lookup(lineAddr); l2l != nil {
 			l2l.st = stModified
 		}
@@ -318,13 +328,14 @@ func (h *Hierarchy) Access(core int, addr memmap.Addr, write bool, now uint64) A
 	}
 	h.ctr.l1Miss.Inc()
 
-	// L2 lookup.
+	// L2 probe.
 	res.Latency += h.cfg.L2Lat
 	h.ctr.l2Access.Inc()
-	if l := h.l2[core].lookup(lineAddr); l != nil {
-		h.l2[core].touch(l)
+	l2set, l2l := h.l2[core].probe(lineAddr)
+	if l2l != nil {
+		h.l2[core].touch(l2l)
 		h.ctr.l2Hit.Inc()
-		st := l.st
+		st := l2l.st
 		if write {
 			if st == stShared {
 				up := h.cfg.L3Lat
@@ -340,20 +351,22 @@ func (h *Hierarchy) Access(core int, addr memmap.Addr, write bool, now uint64) A
 				l3l.owner = int8(core)
 			}
 			st = stModified
-			l.st = stModified
-			l.dirty = true
+			l2l.st = stModified
+			l2l.dirty = true
 		}
-		h.evictL1(core, h.l1[core].install(lineAddr, st, st == stModified && write))
+		_, ev1 := h.l1[core].installIn(l1set, lineAddr, st, st == stModified && write)
+		h.evictL1(core, ev1)
 		res.Level = LevelL2
 		res.WalkLatency = res.Latency
 		return res
 	}
 	h.ctr.l2Miss.Inc()
 
-	// L3 lookup.
+	// L3 probe.
 	res.Latency += h.cfg.L3Lat
 	h.ctr.l3Access.Inc()
-	if l3l := h.l3.lookup(lineAddr); l3l != nil {
+	l3set, l3l := h.l3.probe(lineAddr)
+	if l3l != nil {
 		h.l3.touch(l3l)
 		h.ctr.l3Hit.Inc()
 		if l3l.prefetched {
@@ -407,7 +420,7 @@ func (h *Hierarchy) Access(core int, addr memmap.Addr, write bool, now uint64) A
 			}
 			l3l.sharers |= bit(core)
 		}
-		h.fillPrivate(core, lineAddr, st)
+		h.fillPrivate(core, l1set, l2set, lineAddr, st)
 		res.Level = LevelL3
 		res.WalkLatency = res.Latency
 		return res
@@ -423,16 +436,15 @@ func (h *Hierarchy) Access(core int, addr memmap.Addr, write bool, now uint64) A
 		h.prefetch(lineAddr, now+res.Latency)
 	}
 
-	ev := h.l3.install(lineAddr, stInvalid, false)
+	l3l, ev := h.l3.installIn(l3set, lineAddr, stInvalid, false)
 	h.evictL3(ev, now+res.Latency)
-	l3l := h.l3.lookup(lineAddr)
 	l3l.sharers = bit(core)
 	l3l.owner = int8(core)
 	st := stExclusive
 	if write {
 		st = stModified
 	}
-	h.fillPrivate(core, lineAddr, st)
+	h.fillPrivate(core, l1set, l2set, lineAddr, st)
 	res.Level = LevelMem
 	return res
 }

@@ -22,7 +22,8 @@ type PrefetchConfig struct {
 func (h *Hierarchy) prefetch(lineAddr memmap.Addr, now uint64) {
 	for i := 1; i <= h.cfg.Prefetch.Depth; i++ {
 		next := lineAddr + memmap.Addr(i*h.cfg.LineSize)
-		if h.l3.lookup(next) != nil {
+		set, l := h.l3.probe(next)
+		if l != nil {
 			h.ctr.pfRedundant.Inc()
 			continue
 		}
@@ -30,9 +31,8 @@ func (h *Hierarchy) prefetch(lineAddr memmap.Addr, now uint64) {
 		h.ctr.memReads.Inc()
 		// The fill occupies the memory system but nothing waits on it.
 		h.backend.ReadLine(next, now)
-		ev := h.l3.install(next, stInvalid, false)
+		l3l, ev := h.l3.installIn(set, next, stInvalid, false)
 		h.evictL3(ev, now)
-		l3l := h.l3.lookup(next)
 		l3l.prefetched = true
 	}
 }

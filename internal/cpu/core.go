@@ -211,9 +211,9 @@ type Core struct {
 	computeDep  bool // first unit of the batch depends on lastMemDone
 
 	rob   []robEntry // FIFO
-	wb    []uint64   // store completion times
-	mshr  []uint64   // outstanding off-chip load completion times
-	atomq []uint64   // outstanding offloaded atomic completion times
+	wb    timeq      // store completion times
+	mshr  timeq      // outstanding off-chip load completion times
+	atomq timeq      // outstanding offloaded atomic completion times
 
 	lastMemDone  uint64 // completion time of the newest load or atomic
 	lastLoadDone uint64 // completion time of the newest load (value chain)
@@ -240,6 +240,9 @@ func NewCore(id int, cfg Config, mem MemorySystem, stream []trace.Instr, stats *
 		ctr:    resolveCoreCounters(stats),
 		stream: stream,
 		rob:    make([]robEntry, 0, cfg.ROBSize),
+		wb:     newTimeq(cfg.WriteBufferSize),
+		mshr:   newTimeq(cfg.MSHRs),
+		atomq:  newTimeq(cfg.AtomicQueue),
 	}
 }
 
@@ -263,37 +266,13 @@ func (c *Core) ReleaseBarrier(now uint64) {
 // Done reports whether the core has retired everything.
 func (c *Core) Done() bool {
 	return c.pc >= len(c.stream) && c.computeLeft == 0 &&
-		len(c.rob) == 0 && len(c.wb) == 0 && !c.waitingBarrier
+		len(c.rob) == 0 && c.wb.empty() && !c.waitingBarrier
 }
 
-func expire(times []uint64, now uint64) []uint64 {
-	out := times[:0]
-	for _, t := range times {
-		if t > now {
-			out = append(out, t)
-		}
-	}
-	return out
-}
-
-func maxTime(times []uint64) uint64 {
-	var m uint64
-	for _, t := range times {
-		if t > m {
-			m = t
-		}
-	}
-	return m
-}
-
-func minTime(times []uint64) uint64 {
-	m := ^uint64(0)
-	for _, t := range times {
-		if t < m {
-			m = t
-		}
-	}
-	return m
+// exhausted reports whether the instruction stream is fully dispatched:
+// only in-flight work (ROB, write buffer) keeps the core from Done.
+func (c *Core) exhausted() bool {
+	return c.pc >= len(c.stream) && c.computeLeft == 0
 }
 
 func maxu(a, b uint64) uint64 {
@@ -314,6 +293,43 @@ func (c *Core) retire(now uint64) {
 	if n > 0 {
 		c.ctr.retired.Add(uint64(n))
 	}
+}
+
+// DrainCompleted retires every completed entry at the head of the ROB,
+// ignoring the per-cycle retire width. Only maxCycles truncation uses
+// it: "retired by the cutoff" must count the whole completed prefix,
+// because the width-limited value depends on how often the scheduler
+// happened to tick the core — an artifact, not an architectural
+// quantity — and the two schedulers tick at different rates.
+func (c *Core) DrainCompleted(now uint64) {
+	n := 0
+	for len(c.rob) > 0 && c.rob[0].doneAt <= now {
+		c.rob = c.rob[1:]
+		c.retired++
+		n++
+	}
+	if n > 0 {
+		c.ctr.retired.Add(uint64(n))
+	}
+}
+
+// retireNext returns the earliest future cycle at which width-limited
+// retirement can make progress: the ROB head's completion, or the next
+// cycle when the head is already complete (the retire width saturated
+// this tick). ^uint64(0) with an empty ROB. Every wake time Tick
+// returns is clamped by it, so retirement drains at IssueWidth per
+// cycle from each head completion onward no matter how often the
+// scheduler ticks the core — without the clamp, the time a core
+// empties its ROB (observable through barrier parking and Done) would
+// depend on how many foreign events happened to tick it.
+func (c *Core) retireNext(now uint64) uint64 {
+	if len(c.rob) == 0 {
+		return ^uint64(0)
+	}
+	if t := c.rob[0].doneAt; t > now {
+		return t
+	}
+	return now + 1
 }
 
 // attribute charges elapsed cycles to the state the core was in since the
@@ -344,9 +360,9 @@ func (c *Core) Tick(now, elapsed uint64) (next uint64) {
 	c.attribute(elapsed)
 
 	c.retire(now)
-	c.wb = expire(c.wb, now)
-	c.mshr = expire(c.mshr, now)
-	c.atomq = expire(c.atomq, now)
+	c.wb.expire(now)
+	c.mshr.expire(now)
+	c.atomq.expire(now)
 
 	if c.Done() {
 		c.lastReason = StallDone
@@ -362,7 +378,21 @@ func (c *Core) Tick(now, elapsed uint64) (next uint64) {
 	}
 	if now < c.frozenUntil {
 		c.lastReason = StallFrozen
-		return c.frozenUntil
+		next = c.frozenUntil
+		// The ROB and write buffer keep draining underneath a frontend
+		// freeze, so the wake schedule must track that progress: the
+		// retire clamp keeps retirement moving, and with the stream
+		// exhausted the drain schedule additionally covers the write
+		// buffer, whose emptying is the last condition for Done.
+		if rn := c.retireNext(now); rn < next {
+			next = rn
+		}
+		if c.exhausted() {
+			if dn := c.drainNext(now); dn < next {
+				next = dn
+			}
+		}
+		return next
 	}
 
 	// Fast-forward long, unobstructed compute batches: with an empty
@@ -371,7 +401,7 @@ func (c *Core) Tick(now, elapsed uint64) (next uint64) {
 	// of cycle-by-cycle. This is purely a simulator optimization; the
 	// cycle arithmetic is identical.
 	if c.computeLeft > 4*c.cfg.IssueWidth &&
-		len(c.wb) == 0 && len(c.mshr) == 0 && len(c.atomq) == 0 &&
+		c.wb.empty() && c.mshr.empty() && c.atomq.empty() &&
 		(!c.computeDep || c.lastMemDone <= now) {
 		// Any remaining ROB entries must already be complete; they
 		// retire inside the fast-forwarded stretch at IssueWidth per
@@ -445,14 +475,14 @@ dispatch:
 			dispatched++
 
 		case trace.KindLoad:
-			if len(c.mshr) >= c.cfg.MSHRs {
+			if c.mshr.len() >= c.cfg.MSHRs {
 				reason = StallMSHR
-				next = minTime(c.mshr)
+				next = c.mshr.minT()
 				break dispatch
 			}
 			res := c.mem.Load(c.id, in, c.issueTime(in, now))
 			if res.OffChip {
-				c.mshr = append(c.mshr, res.CompleteAt)
+				c.mshr.add(res.CompleteAt)
 			}
 			if res.CompleteAt > c.lastMemDone {
 				c.lastMemDone = res.CompleteAt
@@ -465,13 +495,13 @@ dispatch:
 			dispatched++
 
 		case trace.KindStore:
-			if len(c.wb) >= c.cfg.WriteBufferSize {
+			if c.wb.len() >= c.cfg.WriteBufferSize {
 				reason = StallWBFull
-				next = minTime(c.wb)
+				next = c.wb.minT()
 				break dispatch
 			}
 			res := c.mem.Store(c.id, in, c.issueTime(in, now))
-			c.wb = append(c.wb, res.CompleteAt)
+			c.wb.add(res.CompleteAt)
 			// The store retires once buffered.
 			c.rob = append(c.rob, robEntry{doneAt: now + 1})
 			c.pc++
@@ -489,7 +519,7 @@ dispatch:
 				// stall; only the extra wait the fence imposes and the
 				// locked RMW itself count as atomic overhead.
 				naturalReady := c.issueTime(in, now)
-				fenceReady := maxu(naturalReady, maxu(maxTime(c.wb), c.lastMemDone))
+				fenceReady := maxu(naturalReady, maxu(c.wb.maxT(), c.lastMemDone))
 				res := c.mem.Atomic(c.id, in, fenceReady)
 				c.ctr.depWait.Add(naturalReady - now)
 				drain := fenceReady - naturalReady
@@ -519,9 +549,9 @@ dispatch:
 				break dispatch
 			}
 			// Offloaded atomic: non-blocking, pipelined.
-			if len(c.atomq) >= c.cfg.AtomicQueue {
+			if c.atomq.len() >= c.cfg.AtomicQueue {
 				reason = StallMSHR
-				next = minTime(c.atomq)
+				next = c.atomq.minT()
 				break dispatch
 			}
 			res := c.mem.Atomic(c.id, in, c.issueTime(in, now))
@@ -538,7 +568,7 @@ dispatch:
 				c.ctr.badspec.Add(c.cfg.CASFailFlush)
 			}
 			if res.OffChip {
-				c.atomq = append(c.atomq, res.CompleteAt)
+				c.atomq.add(res.CompleteAt)
 			}
 			if eff > c.lastMemDone {
 				c.lastMemDone = eff
@@ -555,7 +585,7 @@ dispatch:
 
 		case trace.KindBarrier:
 			// A barrier drains the core before parking it.
-			if len(c.rob) > 0 || len(c.wb) > 0 {
+			if len(c.rob) > 0 || !c.wb.empty() {
 				reason = StallDrainOut
 				next = c.drainNext(now)
 				break dispatch
@@ -573,6 +603,9 @@ dispatch:
 		reason = StallNone
 		next = now + 1
 	}
+	if rn := c.retireNext(now); rn < next {
+		next = rn
+	}
 	c.lastReason = reason
 	return next
 }
@@ -583,10 +616,8 @@ func (c *Core) drainNext(now uint64) uint64 {
 	if len(c.rob) > 0 && c.rob[0].doneAt < next {
 		next = c.rob[0].doneAt
 	}
-	if len(c.wb) > 0 {
-		if t := minTime(c.wb); t < next {
-			next = t
-		}
+	if t := c.wb.minT(); t < next {
+		next = t
 	}
 	if next != ^uint64(0) && next <= now {
 		next = now + 1

@@ -15,6 +15,7 @@ package harness
 
 import (
 	"fmt"
+	"math"
 	"strings"
 	"sync"
 	"time"
@@ -443,9 +444,28 @@ func ratioStr(num, den uint64, format func(float64) string) string {
 	}
 	return format(float64(num) / float64(den))
 }
-func f2(x float64) string         { return fmt.Sprintf("%.2f", x) }
-func f3(x float64) string         { return fmt.Sprintf("%.3f", x) }
-func speedupStr(x float64) string { return fmt.Sprintf("%.2fx", x) }
+
+// f2/f3/speedupStr render NaN as "n/a": machine.Result.IPC, MPKI, and
+// Speedup return NaN on zero denominators (a zero-cycle or zero-retire
+// run), and a table cell must say so rather than print "NaN" or a fake 0.
+func f2(x float64) string {
+	if math.IsNaN(x) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2f", x)
+}
+func f3(x float64) string {
+	if math.IsNaN(x) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.3f", x)
+}
+func speedupStr(x float64) string {
+	if math.IsNaN(x) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2fx", x)
+}
 
 // atomicCycles returns the Fig. 9 atomic overhead split of a result.
 func atomicCycles(r machine.Result) (inCore, inCache uint64) {

@@ -12,6 +12,7 @@ package machine
 
 import (
 	"fmt"
+	"math"
 
 	"graphpim/internal/cache"
 	"graphpim/internal/cpu"
@@ -111,27 +112,32 @@ type Result struct {
 	Stats        map[string]uint64
 }
 
-// IPC returns the average per-core instructions per cycle.
+// IPC returns the average per-core instructions per cycle, or NaN when
+// the run retired over zero cycles (or zero cores) — the same
+// undefined-ratio policy as sim.Stats.Ratio, so report layers render
+// "n/a" instead of a misleading 0.
 func (r Result) IPC(numCores int) float64 {
 	if r.Cycles == 0 || numCores == 0 {
-		return 0
+		return math.NaN()
 	}
 	return float64(r.Instructions) / float64(r.Cycles) / float64(numCores)
 }
 
 // MPKI returns misses per kilo-instruction for the given cache level
-// counter prefix ("cache.l1", "cache.l2", "cache.l3").
+// counter prefix ("cache.l1", "cache.l2", "cache.l3"), or NaN when no
+// instructions retired.
 func (r Result) MPKI(level string) float64 {
 	if r.Instructions == 0 {
-		return 0
+		return math.NaN()
 	}
 	return float64(r.Stats[level+".miss"]) * 1000 / float64(r.Instructions)
 }
 
-// Speedup returns base's execution time divided by r's.
+// Speedup returns base's execution time divided by r's, or NaN when r
+// ran for zero cycles.
 func (r Result) Speedup(base Result) float64 {
 	if r.Cycles == 0 {
-		return 0
+		return math.NaN()
 	}
 	return float64(base.Cycles) / float64(r.Cycles)
 }
@@ -365,55 +371,115 @@ func (m *Machine) Atomic(core int, in trace.Instr, now uint64) cpu.AtomicResult 
 	return cpu.AtomicResult{Blocking: true, AcceptedAt: now, CompleteAt: now + r.Latency}
 }
 
+// tickCore is the seam through which Run advances one core. Tests
+// override it to exercise the defensive deadlock path.
+var tickCore = func(c *cpu.Core, now, elapsed uint64) uint64 {
+	return c.Tick(now, elapsed)
+}
+
 // Run replays the trace to completion (or maxCycles, whichever first) and
-// returns the result. maxCycles <= 0 means no limit.
+// returns the result. maxCycles <= 0 means no limit; Cycles never
+// exceeds maxCycles.
+//
+// Run is event-driven: each core's Tick returns the next cycle its state
+// can change, and a wake heap (sim.Wakeups) replays those times in
+// (time, core-id) order — the same order the reference scan loop
+// (runScan, kept as a test shim) visits cores, so the two are
+// cycle-identical. Cores are ticked only at their own wake times; a
+// final flush tick at the last event time settles the cycle-attribution
+// counters for cores that went quiescent earlier (see
+// DESIGN.md, "Event-driven scheduler").
 func (m *Machine) Run(maxCycles uint64) Result {
-	var now, elapsed uint64
-	for {
-		minNext := ^uint64(0)
-		allDone := true
-		for _, c := range m.cores {
-			next := c.Tick(now, elapsed)
-			if !c.Done() {
-				allDone = false
-				if next < minNext {
-					minNext = next
+	n := len(m.cores)
+	wake := sim.NewWakeups(n)
+	lastTick := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		wake.Schedule(i, 0)
+	}
+	var now uint64
+	done, parked := 0, 0
+
+	for done < n {
+		t, ok := wake.Min()
+		if !ok {
+			// No wakeups pending. Either every live core is parked at a
+			// barrier — release them all (one global barrier event) —
+			// or no core can ever make progress again.
+			if parked == 0 || parked+done != n {
+				panic(fmt.Sprintf("machine: deadlock at cycle %d", now))
+			}
+			for i, c := range m.cores {
+				if c.WaitingBarrier() {
+					c.ReleaseBarrier(now)
+					wake.Schedule(i, now+1)
 				}
 			}
+			parked = 0
+			m.ctr.barriers.Inc()
+			continue
 		}
-		if allDone {
-			break
+		if maxCycles > 0 && t > maxCycles {
+			// Truncated run: settle attribution at the last processed
+			// event time, clamp the reported cycle count, and retire
+			// everything complete by the cutoff (scheduler-independent;
+			// see Core.DrainCompleted).
+			m.flushTicks(now, lastTick)
+			now = maxCycles
+			for _, c := range m.cores {
+				c.DrainCompleted(now)
+			}
+			return m.result(now)
 		}
-
-		// Barrier release: every unfinished core parked.
-		allWaiting := true
-		for _, c := range m.cores {
-			if !c.Done() && !c.WaitingBarrier() {
-				allWaiting = false
+		now = t
+		// Drain every core due at this cycle in id order (heap ties
+		// break on id). A tick only ever schedules its own core at a
+		// future time, so the set due at now is fixed before the drain.
+		for {
+			if tt, ok := wake.Min(); !ok || tt != now {
 				break
 			}
-		}
-		if allWaiting {
-			for _, c := range m.cores {
-				c.ReleaseBarrier(now)
+			id, _ := wake.PopMin()
+			c := m.cores[id]
+			next := tickCore(c, now, now-lastTick[id])
+			lastTick[id] = now
+			switch {
+			case c.Done():
+				done++
+			case c.WaitingBarrier():
+				parked++
+			default:
+				if next != ^uint64(0) {
+					if next <= now {
+						next = now + 1
+					}
+					wake.Schedule(id, next)
+				}
+				// A live, unparked core returning no wake time is left
+				// unscheduled; the empty-heap check above reports the
+				// deadlock, as the scan loop did.
 			}
-			m.ctr.barriers.Inc()
-			minNext = now + 1
-		}
-
-		if minNext == ^uint64(0) {
-			panic(fmt.Sprintf("machine: deadlock at cycle %d", now))
-		}
-		if minNext <= now {
-			minNext = now + 1
-		}
-		elapsed = minNext - now
-		now = minNext
-		if maxCycles > 0 && now > maxCycles {
-			break
 		}
 	}
 
+	m.flushTicks(now, lastTick)
+	return m.result(now)
+}
+
+// flushTicks advances every core that last ticked before now up to now,
+// attributing the trailing quiescent stretch to its standing stall
+// reason. The scan loop ticked all cores at every event, so its
+// attribution always reached the final event time; the wake heap skips
+// those no-op ticks and settles the difference here in one step.
+func (m *Machine) flushTicks(now uint64, lastTick []uint64) {
+	for i, c := range m.cores {
+		if lastTick[i] < now {
+			tickCore(c, now, now-lastTick[i])
+			lastTick[i] = now
+		}
+	}
+}
+
+func (m *Machine) result(now uint64) Result {
 	var retired uint64
 	for _, c := range m.cores {
 		retired += c.Retired()
