@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench bench-json
+.PHONY: build vet test race bench bench-json fuzz-short
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,18 @@ race:
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./...
+
+# fuzz-short runs every native fuzz target for a few seconds each,
+# starting from the committed corpora in testdata/fuzz/. It is the CI
+# smoke for the metamorphic harness; long exploratory sessions use
+# `go test -fuzz=<target> -fuzztime=10m ./internal/<pkg>/` directly.
+FUZZTIME ?= 10s
+fuzz-short:
+	$(GO) test -run '^$$' -fuzz '^FuzzRead$$' -fuzztime $(FUZZTIME) ./internal/trace/
+	$(GO) test -run '^$$' -fuzz '^FuzzBuilder$$' -fuzztime $(FUZZTIME) ./internal/trace/
+	$(GO) test -run '^$$' -fuzz '^FuzzReadEdgeList$$' -fuzztime $(FUZZTIME) ./internal/graph/
+	$(GO) test -run '^$$' -fuzz '^FuzzLinkLaneReserve$$' -fuzztime $(FUZZTIME) ./internal/hmc/
+	$(GO) test -run '^$$' -fuzz '^FuzzTimeq$$' -fuzztime $(FUZZTIME) ./internal/cpu/
 
 # bench-json records the simulator throughput benchmarks (best of 3
 # reps) into the committed trajectory file BENCH_pr3.json under the

@@ -103,6 +103,7 @@ run/workload flags:
   -j N             parallel workers for simulation cells (default: all CPUs)
   -format F        output format: text|json|csv (default text)
   -out DIR         write per-experiment JSONL records + manifest.json
+  -check           enable simulation sanitizer audits (slower, byte-identical output)
   -q               suppress progress output on stderr
   -cpuprofile F    write a CPU profile of the experiment run
   -memprofile F    write a heap profile taken after the experiment run
@@ -184,6 +185,7 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 	format := fs.String("format", "text", "output format: text|json|csv")
 	csv := fs.Bool("csv", false, "deprecated alias for -format csv")
 	outDir := fs.String("out", "", "write JSONL records + manifest.json to this directory")
+	checkOn := fs.Bool("check", false, "enable simulation sanitizer audits (slower, identical output)")
 	quiet := fs.Bool("q", false, "suppress progress output")
 	cpuprofile := fs.String("cpuprofile", "", "write CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write heap profile to this file")
@@ -214,6 +216,7 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 
 	env := makeEnv(*quick, *vertices, *seed)
 	env.Parallelism = *workers
+	env.Check = *checkOn
 	if !*quiet {
 		env.Reporter = obs.NewTextReporter(stderr)
 	}
@@ -240,8 +243,8 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 		var err error
 		writer, err = obs.NewRunWriter(*outDir, env.Info(), flagValues(fs))
 		if err != nil {
-			fmt.Fprintln(stderr, err)
-			return 1
+			fmt.Fprintf(stderr, "run: cannot write to -out directory %s: %v\n", *outDir, err)
+			return 2
 		}
 	}
 
@@ -305,7 +308,10 @@ func printTable(w io.Writer, ex graphpim.Experiment, tb *graphpim.Table, format 
 func runExperiments(w io.Writer, env *graphpim.Env, exps []graphpim.Experiment, format string, writer *obs.RunWriter) error {
 	start := time.Now()
 	for _, ex := range exps {
-		tb, runInfo, recs := env.RunExperimentObserved(context.Background(), ex)
+		tb, runInfo, recs, err := env.RunExperimentObserved(context.Background(), ex)
+		if err != nil {
+			return err
+		}
 		if writer != nil {
 			if err := writer.WriteExperiment(runInfo, recs); err != nil {
 				return err
@@ -342,8 +348,8 @@ func cmdReplay(args []string, stdout, stderr io.Writer) int {
 	}
 	m, err := obs.LoadManifest(*in)
 	if err != nil {
-		fmt.Fprintln(stderr, err)
-		return 1
+		fmt.Fprintf(stderr, "replay: cannot load run directory %s: %v\n", *in, err)
+		return 2
 	}
 
 	runs := m.Experiments
@@ -373,8 +379,8 @@ func cmdReplay(args []string, stdout, stderr io.Writer) int {
 	for _, r := range runs {
 		recs, err := obs.LoadRecords(*in, r)
 		if err != nil {
-			fmt.Fprintln(stderr, err)
-			return 1
+			fmt.Fprintf(stderr, "replay: corrupt records in %s: %v\n", *in, err)
+			return 2
 		}
 		env.PreloadRecords(recs)
 		ex, err := graphpim.ExperimentByID(r.ID)
@@ -382,7 +388,11 @@ func cmdReplay(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, err)
 			return 1
 		}
-		tb := env.RunExperiment(context.Background(), ex)
+		tb, err := env.RunExperiment(context.Background(), ex)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
 		if err := printTable(stdout, ex, tb, *format); err != nil {
 			fmt.Fprintln(stderr, err)
 			return 1
@@ -398,6 +408,7 @@ func cmdWorkload(args []string, stdout, stderr io.Writer) int {
 	vertices := fs.Int("vertices", 16384, "LDBC graph size")
 	seed := fs.Uint64("seed", 7, "generator seed")
 	config := fs.String("config", "graphpim", "baseline|upei|graphpim")
+	checkOn := fs.Bool("check", false, "enable simulation sanitizer audits (slower, identical output)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -414,7 +425,9 @@ func cmdWorkload(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	g := graphpim.GenerateLDBC(*vertices, *seed)
-	run := graphpim.NewRun(g, graphpim.DefaultOptions())
+	opts := graphpim.DefaultOptions()
+	opts.Check = *checkOn
+	run := graphpim.NewRun(g, opts)
 
 	base := run.Execute(w, graphpim.ConfigBaseline)
 	var cfg graphpim.Config

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"testing"
@@ -30,6 +32,7 @@ func testCLIEnv(workers int) *graphpim.Env {
 	env.AppVertices = 512
 	env.SweepSizes = []int{512}
 	env.Parallelism = workers
+	env.Check = true
 	return env
 }
 
@@ -72,5 +75,62 @@ func TestRunExperimentsRegistryOrder(t *testing.T) {
 	}
 	if !sort.IntsAreSorted(positions) {
 		t.Fatalf("experiments printed out of requested order: positions %v\n%s", positions, parallel)
+	}
+}
+
+// TestReplayTruncatedManifestExitsTwo: a corrupt replay directory is an
+// input error — the CLI must exit 2 with a clear message, not dump a
+// stack trace or pretend partial success.
+func TestReplayTruncatedManifestExitsTwo(t *testing.T) {
+	dir := t.TempDir()
+	// A manifest cut off mid-object, as a crashed `run -out` would leave.
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"),
+		[]byte(`{"tool":"graphpim","env":{"vertices":16384,`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"replay", "-in", dir, "all"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2; stderr:\n%s", code, stderr.String())
+	}
+	msg := stderr.String()
+	if !strings.Contains(msg, "replay:") || !strings.Contains(msg, dir) {
+		t.Fatalf("error message does not identify the corrupt directory: %q", msg)
+	}
+	if strings.Contains(msg, "goroutine") {
+		t.Fatalf("stack trace leaked to stderr:\n%s", msg)
+	}
+}
+
+func TestReplayMissingDirExitsTwo(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"replay", "-in", filepath.Join(t.TempDir(), "nope")}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2; stderr:\n%s", code, stderr.String())
+	}
+}
+
+// TestCheckFlagOutputIdentity is the CLI half of the sanitizer's
+// zero-perturbation contract: `run -check` must produce byte-identical
+// stdout to a plain run, at any worker count.
+func TestCheckFlagOutputIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	render := func(extra ...string) string {
+		args := append([]string{"run", "-quick", "-q", "-vertices", "512"}, extra...)
+		args = append(args, "ext-dependent-block")
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 0 {
+			t.Fatalf("run %v exited %d:\n%s", args, code, stderr.String())
+		}
+		return stdout.String()
+	}
+	plain := render("-j", "1")
+	checked := render("-check", "-j", "1")
+	checkedParallel := render("-check", "-j", "8")
+	if checked != plain {
+		t.Fatalf("-check changed output:\n--- plain ---\n%s\n--- check ---\n%s", plain, checked)
+	}
+	if checkedParallel != plain {
+		t.Fatalf("-check -j 8 changed output:\n--- plain ---\n%s\n--- check -j8 ---\n%s", plain, checkedParallel)
 	}
 }

@@ -45,18 +45,28 @@ func cmdReport(args []string, stderr io.Writer) int {
 	fmt.Fprintf(f, "Generated %s. Environment: LDBC-like %d vertices, seed %d, %d threads.\n\n",
 		time.Now().Format(time.RFC3339), env.Vertices, env.Seed, env.Threads)
 
-	run := func(exps []graphpim.Experiment, heading string) {
+	run := func(exps []graphpim.Experiment, heading string) error {
 		fmt.Fprintf(f, "## %s\n\n", heading)
 		for _, ex := range exps {
 			start := time.Now()
-			tb := env.RunExperiment(context.Background(), ex)
+			tb, err := env.RunExperiment(context.Background(), ex)
+			if err != nil {
+				return err
+			}
 			fmt.Fprintf(stderr, "%-24s done in %s\n", ex.ID, time.Since(start).Round(time.Millisecond))
 			fmt.Fprintf(f, "### %s (%s)\n\n%s\n\n```\n%s```\n\n", ex.ID, ex.Paper, ex.Title, tb.String())
 		}
+		return nil
 	}
-	run(graphpim.Experiments(), "Paper tables and figures")
+	if err := run(graphpim.Experiments(), "Paper tables and figures"); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
 	if *extras {
-		run(graphpim.ExtraExperiments(), "Extension experiments")
+		if err := run(graphpim.ExtraExperiments(), "Extension experiments"); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
 	}
 	fmt.Fprintf(stderr, "report written to %s\n", *out)
 	return 0

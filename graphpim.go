@@ -24,6 +24,7 @@ import (
 	"fmt"
 
 	"graphpim/internal/analytic"
+	"graphpim/internal/check"
 	"graphpim/internal/energy"
 	"graphpim/internal/gframe"
 	"graphpim/internal/graph"
@@ -145,6 +146,11 @@ type Options struct {
 	// ExtendedAtomics enables the paper's proposed FP add/sub commands
 	// for offload configurations.
 	ExtendedAtomics bool
+	// Check enables the simulation sanitizer: periodic and end-of-run
+	// audits of the machine's internal invariants. Audits are read-only
+	// (results are identical either way); a violation panics with
+	// subsystem/cycle/core context.
+	Check bool
 }
 
 // DefaultOptions returns 16 threads with scaled caches.
@@ -187,6 +193,9 @@ func (r *Run) machineConfig(cfg Config, w Workload) machine.Config {
 	if r.opts.ScaledCaches {
 		mc.Cache.L2Size = 128 << 10
 		mc.Cache.L3Size = 512 << 10
+	}
+	if r.opts.Check {
+		mc.Check = check.Periodic
 	}
 	return mc
 }
@@ -259,5 +268,5 @@ func RunExperiment(id string, env *Env) (*Table, error) {
 	if env == nil {
 		env = harness.DefaultEnv()
 	}
-	return env.RunExperiment(context.Background(), ex), nil
+	return env.RunExperiment(context.Background(), ex)
 }

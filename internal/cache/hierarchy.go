@@ -433,7 +433,11 @@ func (h *Hierarchy) Access(core int, addr memmap.Addr, write bool, now uint64) A
 	memLat := h.backend.ReadLine(lineAddr, now+res.Latency)
 	res.Latency += memLat
 	if h.cfg.Prefetch.Depth > 0 {
-		h.prefetch(lineAddr, now+res.Latency)
+		// The prefetcher fires when the miss is detected (end of the tag
+		// walk), concurrently with the demand fetch — not serialized
+		// behind it. Issuing at now+res.Latency here would idle the
+		// prefetcher for a full memory round-trip per trigger.
+		h.prefetch(lineAddr, now+res.WalkLatency)
 	}
 
 	l3l, ev := h.l3.installIn(l3set, lineAddr, stInvalid, false)
@@ -466,25 +470,66 @@ func (h *Hierarchy) Probe(core int, addr memmap.Addr) (Level, bool) {
 	return LevelMem, false
 }
 
-// CheckInvariants validates MESI/inclusion invariants across the whole
-// hierarchy; tests call this after randomized access sequences.
+// checkPrivateLine validates the per-line invariants of a private (L1 or
+// L2) array slot: valid lines carry a real MESI state, the dirty bit
+// implies Modified (in particular no dirty Shared line can exist — a
+// Shared line lost write permission, so dirty data in it would be lost
+// silently on eviction), and the directory fields stay untouched, since
+// only the L3 array holds directory state.
+func checkPrivateLine(level string, core int, l line) error {
+	if !l.valid {
+		if l.dirty || l.sharers != 0 || l.owner != -1 {
+			return fmt.Errorf("%s core %d: invalid slot %#x retains state (dirty=%v sharers=%#x owner=%d)",
+				level, core, l.tag, l.dirty, l.sharers, l.owner)
+		}
+		return nil
+	}
+	if l.st == stInvalid {
+		return fmt.Errorf("%s line %#x of core %d is valid but in state I", level, l.tag, core)
+	}
+	if l.dirty && l.st != stModified {
+		return fmt.Errorf("%s line %#x of core %d is dirty in state %v (dirty implies M)",
+			level, l.tag, core, l.st)
+	}
+	if l.sharers != 0 || l.owner != -1 {
+		return fmt.Errorf("%s line %#x of core %d carries directory state (sharers=%#x owner=%d)",
+			level, l.tag, core, l.sharers, l.owner)
+	}
+	return nil
+}
+
+// CheckInvariants validates MESI/inclusion/directory invariants across
+// the whole hierarchy. The internal/check sanitizer registers it as the
+// "cache" auditor; tests also call it directly after randomized access
+// sequences. It is read-only.
 func (h *Hierarchy) CheckInvariants() error {
-	// Collect every private line and check inclusion + directory.
+	// Collect every private line and check per-line state consistency,
+	// inclusion, and the directory view.
 	for c := 0; c < h.cfg.NumCores; c++ {
 		for _, set := range h.l1[c].sets {
 			for i := range set {
 				l := set[i]
+				if err := checkPrivateLine("L1", c, l); err != nil {
+					return err
+				}
 				if !l.valid {
 					continue
 				}
-				if h.l2[c].lookup(l.tag) == nil {
+				l2l := h.l2[c].lookup(l.tag)
+				if l2l == nil {
 					return fmt.Errorf("L1 line %#x of core %d not in L2 (inclusion)", l.tag, c)
+				}
+				if l.st == stModified && l2l.st != stModified {
+					return fmt.Errorf("L1 line %#x of core %d is M but L2 copy is %v", l.tag, c, l2l.st)
 				}
 			}
 		}
 		for _, set := range h.l2[c].sets {
 			for i := range set {
 				l := set[i]
+				if err := checkPrivateLine("L2", c, l); err != nil {
+					return err
+				}
 				if !l.valid {
 					continue
 				}
@@ -502,12 +547,21 @@ func (h *Hierarchy) CheckInvariants() error {
 			}
 		}
 	}
-	// Directory entries must be backed by actual private copies.
+	// Directory entries must be backed by actual private copies, and
+	// invalid L3 slots must carry no directory state at all.
 	for _, set := range h.l3.sets {
 		for i := range set {
 			l := set[i]
 			if !l.valid {
+				if l.dirty || l.sharers != 0 || l.owner != -1 {
+					return fmt.Errorf("invalid L3 slot %#x retains state (dirty=%v sharers=%#x owner=%d)",
+						l.tag, l.dirty, l.sharers, l.owner)
+				}
 				continue
+			}
+			if l.sharers>>uint(h.cfg.NumCores) != 0 {
+				return fmt.Errorf("directory entry %#x names nonexistent cores (sharers=%#x, %d cores)",
+					l.tag, l.sharers, h.cfg.NumCores)
 			}
 			for c := 0; c < h.cfg.NumCores; c++ {
 				if l.sharers&bit(c) != 0 && h.l2[c].lookup(l.tag) == nil {
@@ -520,4 +574,28 @@ func (h *Hierarchy) CheckInvariants() error {
 		}
 	}
 	return nil
+}
+
+// CorruptDirectoryForTest deliberately flips one directory sharer bit on
+// a valid L3 line so fault-injection tests can prove CheckInvariants
+// catches directory drift. It reports whether a target line existed.
+// Test-only; never call from simulation code.
+func (h *Hierarchy) CorruptDirectoryForTest() bool {
+	for _, set := range h.l3.sets {
+		for i := range set {
+			l := &set[i]
+			if !l.valid {
+				continue
+			}
+			for c := 0; c < h.cfg.NumCores; c++ {
+				if l.sharers&bit(c) == 0 {
+					l.sharers |= bit(c) // phantom sharer with no private copy
+					return true
+				}
+			}
+			l.sharers &^= bit(0) // every core shares: drop one instead
+			return true
+		}
+	}
+	return false
 }

@@ -271,3 +271,80 @@ func TestNewPanicsOnBadConfig(t *testing.T) {
 	}()
 	New(DefaultConfig(0), &fakeBackend{}, sim.NewStats())
 }
+
+// populate warms a hierarchy with a mix of shared and exclusive lines so
+// the corruption tests have real directory state to damage.
+func populate(h *Hierarchy) {
+	n := h.cfg.NumCores
+	for i := 0; i < 64; i++ {
+		h.Access(i%n, memmap.Addr(0x10000+i*64), i%5 == 0, uint64(i))
+	}
+	for c := 0; c < n; c++ {
+		h.Access(c, 0x10000, false, uint64(100+c)) // shared line when n > 1
+	}
+}
+
+func TestCorruptDirectoryForTestCaught(t *testing.T) {
+	h, _, _ := newH(2)
+	populate(h)
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatalf("clean hierarchy failed audit: %v", err)
+	}
+	if !h.CorruptDirectoryForTest() {
+		t.Fatal("no valid L3 line to corrupt")
+	}
+	if err := h.CheckInvariants(); err == nil {
+		t.Fatal("corrupted directory passed CheckInvariants")
+	}
+}
+
+func TestDirtySharedLineCaught(t *testing.T) {
+	h, _, _ := newH(2)
+	populate(h)
+	// Force a dirty bit onto a Shared private line.
+	l := h.l1[0].lookup(0x10000)
+	if l == nil || l.st != stShared {
+		t.Fatalf("expected a Shared L1 copy of 0x10000, got %+v", l)
+	}
+	l.dirty = true
+	if err := h.CheckInvariants(); err == nil {
+		t.Fatal("dirty Shared line passed CheckInvariants")
+	}
+}
+
+func TestInvalidSlotStateCaught(t *testing.T) {
+	h, _, _ := newH(1)
+	populate(h)
+	// An invalid L3 slot that still names a sharer is stale directory
+	// state a future install would resurrect.
+	for _, set := range h.l3.sets {
+		for i := range set {
+			if !set[i].valid {
+				set[i].sharers = bit(0)
+				if err := h.CheckInvariants(); err == nil {
+					t.Fatal("invalid slot with sharers passed CheckInvariants")
+				}
+				return
+			}
+		}
+	}
+	t.Skip("no invalid L3 slot available")
+}
+
+func TestValidLineInStateICaught(t *testing.T) {
+	h, _, _ := newH(1)
+	populate(h)
+	for _, set := range h.l1[0].sets {
+		for i := range set {
+			if set[i].valid {
+				set[i].st = stInvalid
+				set[i].dirty = false
+				if err := h.CheckInvariants(); err == nil {
+					t.Fatal("valid line in state I passed CheckInvariants")
+				}
+				return
+			}
+		}
+	}
+	t.Fatal("no valid L1 line")
+}

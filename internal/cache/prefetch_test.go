@@ -86,3 +86,57 @@ func TestPrefetchSequentialStreamIsAccurate(t *testing.T) {
 		t.Fatalf("sequential prefetch accuracy too low: %d/%d", useful, issued)
 	}
 }
+
+// timedBackend records the absolute cycle of every off-chip read.
+type timedBackend struct {
+	readAt []struct {
+		addr memmap.Addr
+		at   uint64
+	}
+	lat uint64
+}
+
+func (f *timedBackend) ReadLine(a memmap.Addr, now uint64) uint64 {
+	f.readAt = append(f.readAt, struct {
+		addr memmap.Addr
+		at   uint64
+	}{a, now})
+	return f.lat
+}
+
+func (f *timedBackend) WriteLine(memmap.Addr, uint64) {}
+
+// TestPrefetchIssueTime pins the prefetch issue time to miss detection:
+// the next-line fill must leave at now+WalkLatency, concurrently with
+// the demand fetch, not after the demand data returns a full memory
+// round-trip later.
+func TestPrefetchIssueTime(t *testing.T) {
+	be := &timedBackend{lat: 100}
+	cfg := DefaultConfig(1)
+	cfg.Prefetch.Depth = 1
+	h := New(cfg, be, sim.NewStats())
+
+	const start = 1000
+	r := h.Access(0, 0x4000, false, start)
+	if r.Level != LevelMem {
+		t.Fatalf("expected cold miss, got %v", r.Level)
+	}
+	walk := cfg.L1Lat + cfg.L2Lat + cfg.L3Lat
+	if r.WalkLatency != walk {
+		t.Fatalf("WalkLatency = %d, want %d", r.WalkLatency, walk)
+	}
+	if len(be.readAt) != 2 {
+		t.Fatalf("backend reads = %+v, want demand + 1 prefetch", be.readAt)
+	}
+	demand, pf := be.readAt[0], be.readAt[1]
+	if demand.addr != 0x4000 || demand.at != start+walk {
+		t.Fatalf("demand read %+v, want addr 0x4000 at %d", demand, start+walk)
+	}
+	if pf.addr != 0x4040 {
+		t.Fatalf("prefetch read %+v, want addr 0x4040", pf)
+	}
+	if pf.at != start+walk {
+		t.Fatalf("prefetch issued at %d, want %d (miss detection), not %d (demand completion)",
+			pf.at, start+walk, start+walk+be.lat)
+	}
+}

@@ -1,0 +1,112 @@
+package cpu
+
+import (
+	"strings"
+	"testing"
+
+	"graphpim/internal/memmap"
+	"graphpim/internal/sim"
+	"graphpim/internal/trace"
+)
+
+// flatMem is a trivial MemorySystem with fixed latencies.
+type flatMem struct{}
+
+func (flatMem) Load(_ int, _ trace.Instr, at uint64) MemResult {
+	return MemResult{CompleteAt: at + 100, OffChip: true}
+}
+func (flatMem) Store(_ int, _ trace.Instr, at uint64) MemResult {
+	return MemResult{CompleteAt: at + 50}
+}
+func (flatMem) AtomicBlocking(int, trace.Instr) bool { return false }
+func (flatMem) Atomic(_ int, _ trace.Instr, at uint64) AtomicResult {
+	return AtomicResult{AcceptedAt: at + 2, CompleteAt: at + 120, OffChip: true}
+}
+
+func auditStream() []trace.Instr {
+	sp := memmap.NewAddressSpace()
+	prop := sp.PMRMalloc(1 << 12)
+	b := trace.NewBuilder(sp, 1)
+	e := b.Thread(0)
+	e.Compute(300) // long enough to fast-forward
+	for i := 0; i < 40; i++ {
+		e.Load(prop+memmap.Addr(i*64), 8, i%3 == 0)
+		e.Store(prop+memmap.Addr(i*64), 8, false)
+		e.Atomic(trace.AtomicAdd, prop+memmap.Addr(i*8), 8, false, false, false)
+	}
+	e.Compute(5)
+	return b.Build().Threads[0]
+}
+
+// runAudited steps a core to completion, auditing at every tick.
+func runAudited(t *testing.T, c *Core) {
+	t.Helper()
+	now := uint64(0)
+	for i := 0; i < 1_000_000; i++ {
+		next := c.Tick(now, 0)
+		if err := c.Audit(now); err != nil {
+			t.Fatalf("audit at cycle %d: %v", now, err)
+		}
+		if c.Done() {
+			return
+		}
+		if next == ^uint64(0) {
+			t.Fatalf("live core reported no wake time at cycle %d", now)
+		}
+		if next <= now {
+			next = now + 1
+		}
+		now = next
+	}
+	t.Fatal("core did not finish")
+}
+
+func TestAuditCleanRun(t *testing.T) {
+	c := NewCore(0, DefaultConfig(), flatMem{}, auditStream(), sim.NewStats())
+	runAudited(t, c)
+	exp := c.expectedRetired()
+	if c.Retired() != exp {
+		t.Fatalf("retired %d, stream expands to %d", c.Retired(), exp)
+	}
+}
+
+func TestAuditCatchesMSHRLeak(t *testing.T) {
+	c := NewCore(0, DefaultConfig(), flatMem{}, auditStream(), sim.NewStats())
+	c.Tick(0, 0)
+	if err := c.Audit(0); err != nil {
+		t.Fatalf("clean core failed audit: %v", err)
+	}
+	c.CorruptMSHRForTest()
+	err := c.Audit(1)
+	if err == nil || !strings.Contains(err.Error(), "mshr") {
+		t.Fatalf("leaked MSHR entries not caught: %v", err)
+	}
+}
+
+func TestAuditCatchesStaleTimeqMin(t *testing.T) {
+	c := NewCore(0, DefaultConfig(), flatMem{}, auditStream(), sim.NewStats())
+	// Tick until the write buffer holds something.
+	now := uint64(0)
+	for c.wb.empty() {
+		next := c.Tick(now, 0)
+		if next <= now {
+			next = now + 1
+		}
+		now = next
+	}
+	c.wb.min++
+	err := c.Audit(now)
+	if err == nil || !strings.Contains(err.Error(), "write buffer") {
+		t.Fatalf("stale write-buffer min not caught: %v", err)
+	}
+}
+
+func TestAuditCatchesOverRetirement(t *testing.T) {
+	c := NewCore(0, DefaultConfig(), flatMem{}, auditStream(), sim.NewStats())
+	c.Tick(0, 0)
+	c.retired = c.expectedRetired() + 1
+	err := c.Audit(0)
+	if err == nil || !strings.Contains(err.Error(), "retired") {
+		t.Fatalf("over-retirement not caught: %v", err)
+	}
+}

@@ -223,6 +223,13 @@ type Core struct {
 	waitingBarrier bool
 	retired        uint64
 	lastReason     StallReason
+
+	// Sanitizer bookkeeping (see audit.go); never read by Tick.
+	expectKnown      bool
+	expectTotal      uint64
+	auditPrimed      bool
+	auditPrevAt      uint64
+	auditPrevRetired uint64
 }
 
 // NewCore builds a core replaying stream against mem.

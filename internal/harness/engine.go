@@ -148,10 +148,12 @@ func cellRecord(exID string, c plannedCell) obs.Record {
 // plan is warmed in parallel, then the experiment replays serially over
 // the memoized results, producing a table byte-for-byte identical to a
 // serial run. ctx cancellation stops the warm pass early; the replay then
-// computes the remaining cells inline (still correct, just serial).
-func (e *Env) RunExperiment(ctx context.Context, ex Experiment) *Table {
-	t, _, _ := e.RunExperimentObserved(ctx, ex)
-	return t
+// computes the remaining cells inline (still correct, just serial). A
+// non-nil error means the experiment could not be set up (e.g. a
+// workload it needs is not registered); the table is nil then.
+func (e *Env) RunExperiment(ctx context.Context, ex Experiment) (*Table, error) {
+	t, _, _, err := e.RunExperimentObserved(ctx, ex)
+	return t, err
 }
 
 // RunExperimentObserved is RunExperiment plus the observability export:
@@ -160,7 +162,7 @@ func (e *Env) RunExperiment(ctx context.Context, ex Experiment) *Table {
 // obs.Record per simulation cell the experiment touched, in first-touch
 // replay order. The records are sufficient to regenerate the table
 // without simulating (see PreloadRecords).
-func (e *Env) RunExperimentObserved(ctx context.Context, ex Experiment) (*Table, obs.ExperimentRun, []obs.Record) {
+func (e *Env) RunExperimentObserved(ctx context.Context, ex Experiment) (*Table, obs.ExperimentRun, []obs.Record, error) {
 	rep := e.reporter()
 	rep.ExperimentStart(ex.ID)
 	start := time.Now()
@@ -196,8 +198,11 @@ func (e *Env) RunExperimentObserved(ctx context.Context, ex Experiment) (*Table,
 		e.mu.Unlock()
 	}()
 	replayStart := time.Now()
-	table := ex.Run(e)
+	table, err := replayExperiment(e, ex)
 	endPhase(obs.PhaseReplay, time.Since(replayStart))
+	if err != nil {
+		return nil, run, nil, err
+	}
 
 	records := make([]obs.Record, 0, len(col.cells))
 	for _, c := range col.cells {
@@ -207,7 +212,24 @@ func (e *Env) RunExperimentObserved(ctx context.Context, ex Experiment) (*Table,
 	wall := time.Since(start)
 	run.WallNs = wall.Nanoseconds()
 	rep.ExperimentFinish(ex.ID, len(records), wall)
-	return table, run, records
+	return table, run, records, nil
+}
+
+// replayExperiment runs ex for real, converting an experimentError panic
+// (a setup failure such as an unregistered workload) into an ordinary
+// error. Any other panic — including a *check.Failure from the sanitizer
+// — propagates: those are bugs, not input errors.
+func replayExperiment(e *Env, ex Experiment) (table *Table, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ee, ok := r.(experimentError)
+			if !ok {
+				panic(r)
+			}
+			table, err = nil, fmt.Errorf("experiment %s: %w", ex.ID, ee.err)
+		}
+	}()
+	return ex.Run(e), nil
 }
 
 // PreloadRecords seeds the run memo with cells from a recorded run, so

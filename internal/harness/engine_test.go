@@ -3,6 +3,7 @@ package harness
 import (
 	"context"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -16,6 +17,7 @@ func testEnv(parallelism int) *Env {
 		SweepSizes:   []int{512, 1024},
 		AppVertices:  1024,
 		Parallelism:  parallelism,
+		Check:        true,
 	}
 }
 
@@ -61,9 +63,15 @@ func TestParallelDeterminism(t *testing.T) {
 	}
 
 	e1 := testEnv(1)
-	t1 := e1.RunExperiment(context.Background(), ex)
+	t1, err := e1.RunExperiment(context.Background(), ex)
+	if err != nil {
+		t.Fatal(err)
+	}
 	e8 := testEnv(8)
-	t8 := e8.RunExperiment(context.Background(), ex)
+	t8, err := e8.RunExperiment(context.Background(), ex)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	if got, want := t8.String(), t1.String(); got != want {
 		t.Fatalf("table differs between -j 1 and -j 8:\n--- j1 ---\n%s\n--- j8 ---\n%s", want, got)
@@ -129,7 +137,10 @@ func TestObservedExportAndPreloadRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	e1 := testEnv(4)
-	t1, run, recs := e1.RunExperimentObserved(context.Background(), ex)
+	t1, run, recs, err := e1.RunExperimentObserved(context.Background(), ex)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if run.ID != ex.ID {
 		t.Fatalf("run.ID = %q, want %q", run.ID, ex.ID)
 	}
@@ -157,7 +168,10 @@ func TestObservedExportAndPreloadRoundTrip(t *testing.T) {
 
 	e2 := testEnv(1)
 	e2.PreloadRecords(recs)
-	t2 := e2.RunExperiment(context.Background(), ex)
+	t2, err := e2.RunExperiment(context.Background(), ex)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if t2.String() != t1.String() {
 		t.Fatalf("preloaded replay differs:\n--- live ---\n%s\n--- replay ---\n%s", t1, t2)
 	}
@@ -182,16 +196,40 @@ func TestRunExperimentSharedEnv(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_ = e.RunExperiment(ctx, fig7)
+	_, _ = e.RunExperiment(ctx, fig7)
 	e.mu.Lock()
 	cellsAfterFig7 := len(e.runs)
 	e.mu.Unlock()
-	_ = e.RunExperiment(ctx, fig10) // baseline runs already warmed by fig7
+	_, _ = e.RunExperiment(ctx, fig10) // baseline runs already warmed by fig7
 	e.mu.Lock()
 	cellsAfterFig10 := len(e.runs)
 	e.mu.Unlock()
 	if cellsAfterFig10 != cellsAfterFig7 {
 		t.Fatalf("fig10 created %d new cells; expected full reuse of fig7's baselines",
 			cellsAfterFig10-cellsAfterFig7)
+	}
+}
+
+// TestExperimentSetupErrorPropagates: an experiment that needs an
+// unregistered workload must surface an error through RunExperiment —
+// never a bare panic — so the CLI can exit with a message instead of a
+// stack trace. Exercised at both worker counts because the parallel
+// engine's recording pass has its own panic recovery.
+func TestExperimentSetupErrorPropagates(t *testing.T) {
+	ex := Experiment{
+		ID: "ext-bogus", Paper: "none", Title: "setup failure probe",
+		Run: func(e *Env) *Table {
+			mustWorkload("NoSuchWorkload")
+			return &Table{}
+		},
+	}
+	for _, workers := range []int{1, 4} {
+		tb, err := testEnv(workers).RunExperiment(context.Background(), ex)
+		if err == nil || !strings.Contains(err.Error(), "NoSuchWorkload") {
+			t.Fatalf("workers=%d: err = %v, want unknown-workload error", workers, err)
+		}
+		if tb != nil {
+			t.Fatalf("workers=%d: got a table alongside the error", workers)
+		}
 	}
 }

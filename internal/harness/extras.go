@@ -7,7 +7,6 @@ import (
 	"graphpim/internal/graph"
 	"graphpim/internal/machine"
 	"graphpim/internal/replicate"
-	"graphpim/internal/workloads"
 )
 
 // Extras returns experiments beyond the paper's tables and figures:
@@ -39,10 +38,7 @@ func extHybridMemory() Experiment {
 				Title:   "Speedup over baseline by PMR coverage (hybrid HMC+DRAM)",
 				Headers: headers}
 			for _, name := range []string{"BFS", "DC"} {
-				w, err := workloads.ByName(name)
-				if err != nil {
-					panic(err)
-				}
+				w := mustWorkload(name)
 				// Each coverage point is its own trace (PMR coverage
 				// changes where the property array is allocated).
 				hybridRun := func(cov float64, kind ConfigKind) machine.Result {
@@ -96,10 +92,7 @@ func extPrefetch() Experiment {
 				Title:   "Baseline speedup from an L3 next-line prefetcher vs GraphPIM",
 				Headers: []string{"workload", "prefetch d=1", "prefetch d=2", "accuracy d=2", "GraphPIM"}}
 			for _, name := range []string{"BFS", "DC", "TC"} {
-				w, err := workloads.ByName(name)
-				if err != nil {
-					panic(err)
-				}
+				w := mustWorkload(name)
 				base := e.Run(w, KindBaseline)
 				row := []string{name}
 				var acc string
@@ -143,10 +136,7 @@ func extSeedStability() Experiment {
 				size = 512
 			}
 			for _, name := range []string{"BFS", "DC"} {
-				w, err := workloads.ByName(name)
-				if err != nil {
-					panic(err)
-				}
+				w := mustWorkload(name)
 				study := replicate.NewStudy()
 				for _, seed := range seeds {
 					seed := seed
@@ -197,10 +187,7 @@ func extVaultMapping() Experiment {
 				Title:   "GraphPIM speedup over baseline by interleave granularity",
 				Headers: headers}
 			for _, name := range []string{"BFS", "DC"} {
-				w, err := workloads.ByName(name)
-				if err != nil {
-					panic(err)
-				}
+				w := mustWorkload(name)
 				base := e.Run(w, KindBaseline)
 				row := []string{name}
 				for _, sh := range shifts {
@@ -240,10 +227,7 @@ func extMultiCube() Experiment {
 				Title:   "GraphPIM speedup over the matching baseline by chain length",
 				Headers: headers}
 			for _, name := range []string{"BFS", "DC"} {
-				w, err := workloads.ByName(name)
-				if err != nil {
-					panic(err)
-				}
+				w := mustWorkload(name)
 				row := []string{name}
 				for _, n := range chains {
 					cubes := n

@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"graphpim/internal/check"
 	"graphpim/internal/gframe"
 	"graphpim/internal/graph"
 	"graphpim/internal/machine"
@@ -65,6 +66,12 @@ type Env struct {
 	// simulation cells across goroutines: 1 (or a single-core machine)
 	// runs serially, <= 0 selects GOMAXPROCS.
 	Parallelism int
+	// Check enables the simulation sanitizer (internal/check) in every
+	// machine the experiments assemble: periodic and end-of-run audits
+	// of each subsystem's redundant state. Audits are read-only, so
+	// results — and therefore tables — are byte-identical either way;
+	// an invariant violation panics with subsystem/cycle/core context.
+	Check bool
 
 	// Reporter receives engine progress events (per-cell completions,
 	// per-phase durations); nil means silent. Implementations must be
@@ -218,6 +225,9 @@ func (e *Env) Config(kind ConfigKind, w workloads.Workload) machine.Config {
 		panic(fmt.Sprintf("harness: unknown config kind %q", kind))
 	}
 	cfg.POU.PMRActive = cfg.POU.OffloadAtomics && info.ApplicableWith(extended)
+	if e.Check {
+		cfg.Check = check.Periodic
+	}
 	return e.scaleCaches(cfg)
 }
 
@@ -429,6 +439,23 @@ func ByID(id string) (Experiment, error) {
 		}
 	}
 	return Experiment{}, fmt.Errorf("harness: unknown experiment %q", id)
+}
+
+// experimentError carries a setup failure (a missing workload, a bad
+// sweep point) out of an Experiment.Run. Run returns only a *Table, so
+// failures travel as a typed panic that RunExperimentObserved converts
+// back into an ordinary error for the CLI to report.
+type experimentError struct{ err error }
+
+// mustWorkload resolves a workload by name or aborts the experiment
+// with an error the engine returns to its caller (rather than a bare
+// panic's stack trace).
+func mustWorkload(name string) workloads.Workload {
+	w, err := workloads.ByName(name)
+	if err != nil {
+		panic(experimentError{fmt.Errorf("harness: %w", err)})
+	}
+	return w
 }
 
 // helpers shared by experiments

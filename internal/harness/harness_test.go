@@ -7,6 +7,14 @@ import (
 	"graphpim/internal/workloads"
 )
 
+// checkedQuickEnv is QuickEnv with the sanitizer on: every harness-level
+// simulation in the test suite runs fully audited.
+func checkedQuickEnv() *Env {
+	e := QuickEnv()
+	e.Check = true
+	return e
+}
+
 func TestAllExperimentsRegistered(t *testing.T) {
 	exps := All()
 	if len(exps) != 21 {
@@ -47,7 +55,7 @@ func TestTableRendering(t *testing.T) {
 
 // The static experiments (no simulation) must produce full tables.
 func TestStaticExperiments(t *testing.T) {
-	e := QuickEnv()
+	e := checkedQuickEnv()
 	for _, id := range []string{"table1-hmc-atomics", "table2-offload-targets",
 		"table3-applicability", "table4-config", "table5-flits", "table6-datasets",
 		"table7-appconfig"} {
@@ -64,7 +72,7 @@ func TestStaticExperiments(t *testing.T) {
 
 func TestTable1HasAllCommands(t *testing.T) {
 	ex, _ := ByID("table1-hmc-atomics")
-	tb := ex.Run(QuickEnv())
+	tb := ex.Run(checkedQuickEnv())
 	if len(tb.Rows) != 20 {
 		t.Fatalf("Table I rows = %d, want 20 (18 HMC 2.0 + 2 extension)", len(tb.Rows))
 	}
@@ -72,7 +80,7 @@ func TestTable1HasAllCommands(t *testing.T) {
 
 func TestTable3CoversSuite(t *testing.T) {
 	ex, _ := ByID("table3-applicability")
-	tb := ex.Run(QuickEnv())
+	tb := ex.Run(checkedQuickEnv())
 	if len(tb.Rows) != len(workloads.All()) {
 		t.Fatalf("Table III rows = %d, want %d", len(tb.Rows), len(workloads.All()))
 	}
@@ -81,7 +89,7 @@ func TestTable3CoversSuite(t *testing.T) {
 // Shared-run caching: two experiments touching the same runs must reuse
 // the memoized results.
 func TestRunMemoization(t *testing.T) {
-	e := QuickEnv()
+	e := checkedQuickEnv()
 	w, _ := workloads.ByName("DC")
 	r1 := e.Run(w, KindBaseline)
 	r2 := e.Run(w, KindBaseline)
@@ -99,7 +107,7 @@ func TestFig7OrderingsAtQuickScale(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation-heavy")
 	}
-	e := QuickEnv()
+	e := checkedQuickEnv()
 	type speeds struct{ upei, gpim float64 }
 	got := map[string]speeds{}
 	for _, name := range []string{"BFS", "DC", "kCore", "TC"} {
@@ -136,7 +144,7 @@ func TestFig10MissRatesAtQuickScale(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation-heavy")
 	}
-	e := QuickEnv()
+	e := checkedQuickEnv()
 	ex, _ := ByID("fig10-missrate")
 	tb := ex.Run(e)
 	if len(tb.Rows) != len(workloads.EvalSet()) {
@@ -156,7 +164,7 @@ func TestFig16ModelWithinTolerance(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation-heavy")
 	}
-	e := QuickEnv()
+	e := checkedQuickEnv()
 	ex, _ := ByID("fig16-model-validation")
 	tb := ex.Run(e)
 	last := tb.Rows[len(tb.Rows)-1]
@@ -169,7 +177,7 @@ func TestFig17RunsBothApps(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation-heavy")
 	}
-	e := QuickEnv()
+	e := checkedQuickEnv()
 	ex, _ := ByID("fig17-realworld")
 	tb := ex.Run(e)
 	if len(tb.Rows) != 2 {

@@ -50,10 +50,7 @@ func table2Targets() Experiment {
 			t := &Table{ID: "table2-offload-targets", Title: "Offloading targets",
 				Headers: []string{"workload", "offloading target", "PIM-atomic type"}}
 			for _, name := range []string{"BFS", "DC", "SSSP", "kCore", "CComp", "TC"} {
-				w, err := workloads.ByName(name)
-				if err != nil {
-					panic(err)
-				}
+				w := mustWorkload(name)
 				info := w.Info()
 				t.AddRow(info.Full, info.OffloadTarget, info.PIMAtomic)
 			}

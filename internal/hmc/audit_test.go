@@ -1,0 +1,121 @@
+package hmc
+
+import (
+	"strings"
+	"testing"
+
+	"graphpim/internal/hmcatomic"
+	"graphpim/internal/memmap"
+	"graphpim/internal/sim"
+)
+
+func newPool(cubes int) (*Pool, *sim.Stats) {
+	st := sim.NewStats()
+	return NewPool(DefaultPoolConfig(cubes), st), st
+}
+
+// drive pushes a representative traffic mix through the pool: line
+// fills, posted writebacks, UC accesses, and every atomic op.
+func drive(p *Pool, r *sim.Rand, n int) {
+	var now uint64
+	for i := 0; i < n; i++ {
+		addr := memmap.Addr(r.Intn(1<<24) * 8)
+		switch r.Intn(6) {
+		case 0, 1:
+			p.ReadLine(memmap.LineAddr(addr), now)
+		case 2:
+			p.WriteLine(memmap.LineAddr(addr), now)
+		case 3:
+			p.UCRead(addr, now)
+		case 4:
+			p.UCWrite(addr, now)
+		case 5:
+			op := hmcatomic.Op(r.Intn(hmcatomic.NumOps))
+			p.Atomic(op, addr, hmcatomic.Value{}, now)
+		}
+		now += uint64(r.Intn(20))
+	}
+}
+
+// TestFlitConservation pins the identity the HMC auditor enforces: the
+// aggregate hmc.flits.req/rsp counters must equal the sum of Table V
+// per-request costs — with posted writebacks contributing request FLITs
+// only. This is the satellite test for the WriteLine posted-write fix.
+func TestFlitConservation(t *testing.T) {
+	p, st := newPool(1)
+	r := sim.NewRand(7)
+	drive(p, r, 2000)
+	if err := p.Audit(0); err != nil {
+		t.Fatalf("audit after clean traffic: %v", err)
+	}
+
+	// Direct spot check with a hand-counted mix.
+	p2, st2 := newPool(1)
+	p2.ReadLine(0x0, 0)                                       // req 1, rsp 5
+	p2.WriteLine(0x40, 0)                                     // req 5, rsp 0 (posted)
+	p2.WriteLine(0x80, 0)                                     // req 5, rsp 0
+	p2.UCRead(0x100, 0)                                       // req 1, rsp 2
+	p2.UCWrite(0x140, 0)                                      // req 2, rsp 1
+	p2.Atomic(hmcatomic.TwoAdd8, 0x180, hmcatomic.Value{}, 0) // req 2, rsp 1
+	p2.Atomic(hmcatomic.CasEQ8, 0x1c0, hmcatomic.Value{}, 0)  // req 2, rsp 2
+	if got, want := st2.Get("hmc.flits.req"), uint64(1+5+5+1+2+2+2); got != want {
+		t.Fatalf("hmc.flits.req = %d, want %d", got, want)
+	}
+	if got, want := st2.Get("hmc.flits.rsp"), uint64(5+0+0+2+1+1+2); got != want {
+		t.Fatalf("hmc.flits.rsp = %d, want %d (posted writes must add zero)", got, want)
+	}
+	if err := p2.Audit(0); err != nil {
+		t.Fatalf("audit after hand-counted mix: %v", err)
+	}
+
+	// Corrupting a counter out from under the reservations must trip
+	// the conservation check.
+	st.Counter("hmc.flits.rsp").Add(1)
+	if err := p.Audit(0); err == nil || !strings.Contains(err.Error(), "hmc.flits.rsp") {
+		t.Fatalf("skewed response counter not caught: %v", err)
+	}
+}
+
+func TestFUBusyIdentity(t *testing.T) {
+	p, st := newPool(1)
+	var now uint64
+	r := sim.NewRand(3)
+	for i := 0; i < 500; i++ {
+		op := hmcatomic.Op(r.Intn(hmcatomic.NumOps))
+		p.Atomic(op, memmap.Addr(r.Intn(1<<20)*8), hmcatomic.Value{}, now)
+		now += uint64(r.Intn(4))
+	}
+	if err := p.Audit(now); err != nil {
+		t.Fatalf("audit after atomics: %v", err)
+	}
+	st.Counter("hmc.fu.busy_cycles").Add(1)
+	if err := p.Audit(now); err == nil || !strings.Contains(err.Error(), "busy_cycles") {
+		t.Fatalf("skewed FU busy counter not caught: %v", err)
+	}
+}
+
+func TestLinkLaneAuditCatchesOverReservation(t *testing.T) {
+	p, _ := newPool(2)
+	drive(p, sim.NewRand(11), 500)
+	if err := p.Audit(0); err != nil {
+		t.Fatalf("clean pool failed audit: %v", err)
+	}
+	p.CorruptLinkLaneForTest()
+	err := p.Audit(0)
+	if err == nil || !strings.Contains(err.Error(), "request lane") {
+		t.Fatalf("over-reserved lane not caught: %v", err)
+	}
+}
+
+// TestAuditMultiCube makes sure the conservation identities hold when
+// traffic spreads across a chain (counters are shared, resources are
+// per cube).
+func TestAuditMultiCube(t *testing.T) {
+	for _, cubes := range []int{1, 2, 4} {
+		p, _ := newPool(cubes)
+		drive(p, sim.NewRand(uint64(cubes)), 1500)
+		if err := p.Audit(0); err != nil {
+			t.Fatalf("%d cubes: %v", cubes, err)
+		}
+	}
+}

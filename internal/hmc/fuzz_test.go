@@ -1,0 +1,49 @@
+package hmc
+
+import (
+	"testing"
+)
+
+// FuzzLinkLaneReserve drives linkLane.reserve with arbitrary ready
+// times and packet sizes and checks the lane's contract on every call:
+// a packet never finishes before its ready time, serialization charges
+// at least one cycle per nonempty packet, and the per-epoch ledger
+// never exceeds the configured FLIT budget (linkLane.audit — the same
+// invariant the runtime sanitizer enforces).
+//
+// The script bytes decode in pairs: the first byte advances or rewinds
+// the ready time (out-of-order arrivals are part of the contract — no
+// head-of-line blocking), the second picks the packet size 1..8 FLITs.
+func FuzzLinkLaneReserve(f *testing.F) {
+	f.Add(uint8(0), []byte{0, 4, 10, 4, 5, 1})
+	f.Add(uint8(1), []byte{255, 8, 0, 8, 128, 2, 7, 7})
+	f.Add(uint8(3), []byte{1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1})
+	f.Fuzz(func(t *testing.T, rateSel uint8, script []byte) {
+		rates := []float64{0.5, 1, 3.75, 15, 30}
+		rate := rates[int(rateSel)%len(rates)]
+		l := newLinkLane(rate)
+		var now uint64
+		for i := 0; i+1 < len(script) && i < 4096; i += 2 {
+			delta, szByte := script[i], script[i+1]
+			if delta >= 128 && now >= uint64(delta-128) {
+				now -= uint64(delta - 128) // rewind: out-of-order ready time
+			} else {
+				now += uint64(delta)
+			}
+			flits := 1 + int(szByte)%8
+			done := l.reserve(now, flits)
+			if done <= now {
+				t.Fatalf("reserve(ready=%d, flits=%d) = %d, not after ready", now, flits, done)
+			}
+			// The full-ledger audit sweeps 16K slots; amortize it.
+			if i%128 == 0 {
+				if err := l.audit(); err != nil {
+					t.Fatalf("after reserve(ready=%d, flits=%d): %v", now, flits, err)
+				}
+			}
+		}
+		if err := l.audit(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

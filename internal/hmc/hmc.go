@@ -353,13 +353,15 @@ func (c *Cube) ReadLine(lineAddr memmap.Addr, now uint64) uint64 {
 
 // WriteLine implements cache.Backend: a posted 64-byte writeback. The
 // latency is off the critical path but the traffic and bank occupancy are
-// modeled.
+// modeled. Posted means exactly that: the request lane carries the 5
+// FLITs of Table V's Write64 row and the bank is occupied for the write,
+// but no acknowledgment packet crosses the response lane — nothing on
+// the host side ever waits for one, so reserving response FLITs here
+// double-counted response bandwidth and inflated `hmc.flits.rsp`.
 func (c *Cube) WriteLine(lineAddr memmap.Addr, now uint64) {
 	c.ctr.writes.Inc()
-	cost := hmcatomic.Write64Cost()
-	arrive := c.sendRequest(now, cost.Request)
+	arrive := c.sendRequest(now, hmcatomic.Write64Cost().Request)
 	c.bankAccess(lineAddr, arrive, 0)
-	c.sendResponse(arrive, cost.Response) // write acknowledgment
 }
 
 // UCRead is an uncacheable sub-line read (at most 16 bytes), used for

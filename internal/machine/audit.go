@@ -1,0 +1,123 @@
+package machine
+
+import (
+	"fmt"
+
+	"graphpim/internal/check"
+	"graphpim/internal/sim"
+)
+
+// Sanitizer wiring. With cfg.Check != check.Off the machine builds a
+// check.Registry at construction and runs every subsystem's auditor at
+// periodic checkpoints and at end of run; a violation panics with a
+// *check.Failure carrying the subsystem, cycle, and core. Auditors are
+// read-only and observe counters through sim.Stats.Get (which never
+// creates a slot), so an audited run's Result — counters included — is
+// byte-identical to an unaudited one.
+
+// registerAuditors installs the per-subsystem auditors. The machine
+// loop's own invariants (wake-heap coverage, barrier partition) depend
+// on Run-local state and are audited inline in Run instead.
+func (m *Machine) registerAuditors() {
+	m.checks.Register("cache", check.NoCore, func(uint64) error { return m.cache.CheckInvariants() })
+	m.checks.Register("hmc", check.NoCore, m.cube.Audit)
+	for i, c := range m.cores {
+		m.checks.Register("cpu", i, c.Audit)
+	}
+	m.checks.Register("stats", check.NoCore, func(uint64) error { return m.auditStats() })
+}
+
+// auditStats cross-checks counter identities that hold by construction
+// across subsystem boundaries: every L1 miss probes the L2, every L3
+// miss (plus every prefetch) reads the HMC, every UC access the machine
+// routed shows up in the cube's UC counters, and so on. A drifting
+// counter pair means double- or under-counting somewhere between two
+// subsystems — exactly the class of bug goldens average away.
+func (m *Machine) auditStats() error {
+	get := m.stats.Get
+	eq := func(a, b string) error {
+		if va, vb := get(a), get(b); va != vb {
+			return fmt.Errorf("%s = %d but %s = %d", a, va, b, vb)
+		}
+		return nil
+	}
+	for _, lvl := range []string{"cache.l1", "cache.l2", "cache.l3"} {
+		if acc, hm := get(lvl+".access"), get(lvl+".hit")+get(lvl+".miss"); acc != hm {
+			return fmt.Errorf("%s.access = %d but hit+miss = %d", lvl, acc, hm)
+		}
+	}
+	checks := [][2]string{
+		{"cache.l1.miss", "cache.l2.access"},
+		{"cache.l2.miss", "cache.l3.access"},
+		{"hmc.reads", "cache.mem.reads"},
+		{"hmc.writes", "cache.mem.writebacks"},
+		{"hmc.uc.reads", "mem.uc_loads"},
+		{"hmc.uc.writes", "mem.uc_stores"},
+		{"hmc.atomics", "mem.pim_atomics"},
+	}
+	for _, c := range checks {
+		if err := eq(c[0], c[1]); err != nil {
+			return err
+		}
+	}
+	if mr, want := get("cache.mem.reads"), get("cache.l3.miss")+get("cache.prefetch.issued"); mr != want {
+		return fmt.Errorf("cache.mem.reads = %d but l3.miss+prefetch.issued = %d", mr, want)
+	}
+	// GraphPIM's direct offload classifies candidates without a
+	// hit/miss verdict, so the breakdown is a lower bound, not a
+	// partition.
+	if hm, cand := get("pou.candidates.hit")+get("pou.candidates.miss"), get("pou.candidates"); hm > cand {
+		return fmt.Errorf("pou.candidates.hit+miss = %d exceeds pou.candidates = %d", hm, cand)
+	}
+	var retired uint64
+	for _, c := range m.cores {
+		retired += c.Retired()
+	}
+	if ctr := get("cpu.retired"); ctr != retired {
+		return fmt.Errorf("cpu.retired = %d but cores retired %d", ctr, retired)
+	}
+	return nil
+}
+
+// auditLoop validates the Run loop's redundant scheduling state after an
+// event-time drain: the done/parked counters must agree with the cores,
+// and every core that is neither done nor parked must have a pending
+// wakeup — a live core missing from the heap would silently never run
+// again until the heap empties.
+func (m *Machine) auditLoop(wake *sim.Wakeups, done, parked int) error {
+	gotDone, gotParked := 0, 0
+	for i, c := range m.cores {
+		d, p := c.Done(), c.WaitingBarrier()
+		if d {
+			gotDone++
+		}
+		if p {
+			gotParked++
+		}
+		if !d && !p && !wake.Scheduled(i) {
+			return fmt.Errorf("core %d is live but has no pending wakeup", i)
+		}
+	}
+	if gotDone != done || gotParked != parked {
+		return fmt.Errorf("done/parked counters %d/%d disagree with core states %d/%d",
+			done, parked, gotDone, gotParked)
+	}
+	return nil
+}
+
+// checkpoint runs the machine-loop audit plus every registered auditor;
+// used by Run when a periodic checkpoint is due and at end of run.
+func (m *Machine) checkpoint(now uint64, wake *sim.Wakeups, done, parked int, final bool) {
+	if err := m.auditLoop(wake, done, parked); err != nil {
+		panic(&check.Failure{Subsystem: "machine", Core: check.NoCore, Cycle: now, Err: err})
+	}
+	var f *check.Failure
+	if final {
+		f = m.checks.Final(now)
+	} else {
+		f = m.checks.Checkpoint(now)
+	}
+	if f != nil {
+		panic(f)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"math"
 
 	"graphpim/internal/cache"
+	"graphpim/internal/check"
 	"graphpim/internal/cpu"
 	"graphpim/internal/hmc"
 	"graphpim/internal/hmcatomic"
@@ -61,6 +62,16 @@ type Config struct {
 	// small non-speculative queue, so they enjoy far less memory-level
 	// parallelism than ordinary cacheable misses.
 	UCIssueGap uint64
+
+	// Check selects the simulation sanitizer level (internal/check).
+	// Off — the default — costs nothing on the hot path; Periodic
+	// audits every subsystem's redundant state at CheckInterval-cycle
+	// checkpoints and at end of run, panicking with a *check.Failure on
+	// the first violated invariant. Audits never change results.
+	Check check.Level
+	// CheckInterval overrides the periodic audit spacing in cycles
+	// (0 means check.DefaultInterval).
+	CheckInterval uint64
 }
 
 // Baseline returns the conventional-architecture configuration.
@@ -198,6 +209,8 @@ type Machine struct {
 	cores []*cpu.Core
 	// ucFree is each core's next allowed UC issue time (UC ordering).
 	ucFree []uint64
+	// checks is the sanitizer registry; nil when cfg.Check is Off.
+	checks *check.Registry
 }
 
 // New assembles a machine for the given trace. The trace must have been
@@ -230,6 +243,10 @@ func New(cfg Config, space *memmap.AddressSpace, tr *trace.Trace) *Machine {
 			stream = tr.Threads[c]
 		}
 		m.cores = append(m.cores, cpu.NewCore(c, cfg.CPU, m, stream, st))
+	}
+	if cfg.Check != check.Off {
+		m.checks = check.NewRegistry(cfg.Check, cfg.CheckInterval)
+		m.registerAuditors()
 	}
 	return m
 }
@@ -428,6 +445,14 @@ func (m *Machine) Run(maxCycles uint64) Result {
 			for _, c := range m.cores {
 				c.DrainCompleted(now)
 			}
+			if m.checks != nil {
+				// End-of-run subsystem audits only: the loop's
+				// done/parked counters are intentionally stale after
+				// the truncation drain.
+				if f := m.checks.Final(now); f != nil {
+					panic(f)
+				}
+			}
 			return m.result(now)
 		}
 		now = t
@@ -459,9 +484,15 @@ func (m *Machine) Run(maxCycles uint64) Result {
 				// deadlock, as the scan loop did.
 			}
 		}
+		if m.checks != nil && m.checks.Due(now) {
+			m.checkpoint(now, wake, done, parked, false)
+		}
 	}
 
 	m.flushTicks(now, lastTick)
+	if m.checks != nil {
+		m.checkpoint(now, wake, done, parked, true)
+	}
 	return m.result(now)
 }
 
