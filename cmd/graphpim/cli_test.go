@@ -47,6 +47,66 @@ func TestRunUnknownExperimentListsRegistry(t *testing.T) {
 	}
 }
 
+// TestListSubcommand pins the `list` output: every registry experiment
+// with its one-line description, paper reproductions first and extras
+// last, and the same listing (indented) on the unknown-id error path —
+// both come from writeExperimentList.
+func TestListSubcommand(t *testing.T) {
+	out, _, code := runCLI("list")
+	if code != 0 {
+		t.Fatalf("list: exit code %d", code)
+	}
+	for _, want := range []string{
+		"fig1-ipc", "fig7-speedup", "ext-dependent-block", "ext-ddr-host",
+		"Speedups over the baseline system", // a description, not just ids
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("list output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Index(out, "fig1-ipc") > strings.Index(out, "fig7-speedup") ||
+		strings.Index(out, "fig7-speedup") > strings.Index(out, "ext-dependent-block") {
+		t.Fatalf("list out of registry order:\n%s", out)
+	}
+
+	_, stderr, _ := runCLI("run", "bogus-id")
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if !strings.Contains(stderr, line) {
+			t.Fatalf("unknown-id listing missing list line %q:\n%s", line, stderr)
+		}
+	}
+}
+
+// TestWorkloadRejectsBadMem pins the exit-2 path for an invalid memory
+// backend selector.
+func TestWorkloadRejectsBadMem(t *testing.T) {
+	_, stderr, code := runCLI("workload", "-quick", "-mem", "sram", "BFS")
+	if code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(stderr, `unknown memory backend "sram"`) {
+		t.Fatalf("unhelpful message %q", stderr)
+	}
+}
+
+// TestWorkloadDDRBackend runs one workload on the DDR backend: the
+// GraphPIM config degrades to the conventional datapath (zero PIM
+// atomics) and the traffic line reports bus bytes, not link FLITs.
+func TestWorkloadDDRBackend(t *testing.T) {
+	out, stderr, code := runCLI("workload", "-quick", "-mem", "ddr", "-config", "graphpim", "BFS")
+	if code != 0 {
+		t.Fatalf("exit code %d: %s", code, stderr)
+	}
+	for _, want := range []string{"memory:     ddr", "bus bytes:", "offloaded:  0 PIM atomics"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "link FLITs") {
+		t.Fatalf("DDR run still reports link FLITs:\n%s", out)
+	}
+}
+
 func TestRunRejectsBadFormat(t *testing.T) {
 	_, stderr, code := runCLI("run", "-format", "yaml", "all")
 	if code != 2 {

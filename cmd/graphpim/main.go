@@ -15,8 +15,10 @@
 //	graphpim replay -in DIR [all|<id>...]
 //	    Regenerate experiment tables from a recorded run directory.
 //
-//	graphpim workload [-quick] [-vertices N] [-config baseline|upei|graphpim] <name>
+//	graphpim workload [-quick] [-vertices N] [-config baseline|upei|graphpim] [-mem hmc|ddr] <name>
 //	    Simulate one GraphBIG workload and print its headline numbers.
+//	    -mem ddr swaps in the PIM-less DDR host-memory backend; offload
+//	    configurations degrade gracefully to the conventional datapath.
 package main
 
 import (
@@ -107,16 +109,25 @@ run/workload flags:
   -q               suppress progress output on stderr
   -cpuprofile F    write a CPU profile of the experiment run
   -memprofile F    write a heap profile taken after the experiment run
-  -config C        workload config: baseline|upei|graphpim (workload cmd)`)
+  -config C        workload config: baseline|upei|graphpim (workload cmd)
+  -mem M           memory backend: hmc|ddr (workload cmd; ddr has no PIM units)`)
+}
+
+// writeExperimentList prints every experiment in registry order — the
+// paper reproductions first, then the extras — one line each with its
+// paper anchor and title. It is both the `list` subcommand body and the
+// valid-id listing shown on an unknown-experiment error.
+func writeExperimentList(w io.Writer, indent string) {
+	for _, ex := range graphpim.Experiments() {
+		fmt.Fprintf(w, "%s%-24s %-12s %s\n", indent, ex.ID, ex.Paper, ex.Title)
+	}
+	for _, ex := range graphpim.ExtraExperiments() {
+		fmt.Fprintf(w, "%s%-24s %-12s %s\n", indent, ex.ID, "extra", ex.Title)
+	}
 }
 
 func cmdList(w io.Writer) int {
-	for _, ex := range graphpim.Experiments() {
-		fmt.Fprintf(w, "%-24s %-12s %s\n", ex.ID, ex.Paper, ex.Title)
-	}
-	for _, ex := range graphpim.ExtraExperiments() {
-		fmt.Fprintf(w, "%-24s %-12s %s\n", ex.ID, "extra", ex.Title)
-	}
+	writeExperimentList(w, "")
 	return 0
 }
 
@@ -163,12 +174,7 @@ func resolveExperiments(ids []string, stderr io.Writer) ([]graphpim.Experiment, 
 		if err != nil {
 			fmt.Fprintf(stderr, "run: unknown experiment %q\n", id)
 			fmt.Fprintln(stderr, "valid experiments (registry order):")
-			for _, e := range graphpim.Experiments() {
-				fmt.Fprintf(stderr, "  %s\n", e.ID)
-			}
-			for _, e := range graphpim.ExtraExperiments() {
-				fmt.Fprintf(stderr, "  %s\n", e.ID)
-			}
+			writeExperimentList(stderr, "  ")
 			return nil, false
 		}
 		exps = append(exps, ex)
@@ -408,6 +414,7 @@ func cmdWorkload(args []string, stdout, stderr io.Writer) int {
 	vertices := fs.Int("vertices", 16384, "LDBC graph size")
 	seed := fs.Uint64("seed", 7, "generator seed")
 	config := fs.String("config", "graphpim", "baseline|upei|graphpim")
+	mem := fs.String("mem", "hmc", "memory backend: hmc|ddr")
 	checkOn := fs.Bool("check", false, "enable simulation sanitizer audits (slower, identical output)")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -424,9 +431,14 @@ func cmdWorkload(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
-	g := graphpim.GenerateLDBC(*vertices, *seed)
 	opts := graphpim.DefaultOptions()
 	opts.Check = *checkOn
+	opts.Memory = *mem
+	if err := opts.Validate(); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	g := graphpim.GenerateLDBC(*vertices, *seed)
 	run := graphpim.NewRun(g, opts)
 
 	base := run.Execute(w, graphpim.ConfigBaseline)
@@ -452,11 +464,17 @@ func cmdWorkload(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "graph:      LDBC-like, %d vertices, %d edges, seed %d\n",
 		g.NumVertices(), g.NumEdges(), *seed)
 	fmt.Fprintf(stdout, "config:     %s\n", res.Config)
+	fmt.Fprintf(stdout, "memory:     %s\n", *mem)
 	fmt.Fprintf(stdout, "cycles:     %d\n", res.Cycles)
 	fmt.Fprintf(stdout, "instrs:     %d\n", res.Instructions)
 	fmt.Fprintf(stdout, "IPC/core:   %s\n", fmtRatio(res.IPC(16), "%.3f"))
 	fmt.Fprintf(stdout, "L3 MPKI:    %s\n", fmtRatio(res.MPKI("cache.l3"), "%.1f"))
-	fmt.Fprintf(stdout, "link FLITs: %d\n", res.TotalFlits())
+	if *mem == "ddr" {
+		fmt.Fprintf(stdout, "bus bytes:  %d\n",
+			res.MemStat("mem.req.bytes")+res.MemStat("mem.rsp.bytes"))
+	} else {
+		fmt.Fprintf(stdout, "link FLITs: %d\n", res.TotalFlits())
+	}
 	if cfg != graphpim.ConfigBaseline {
 		fmt.Fprintf(stdout, "speedup:    %s over baseline (%d cycles)\n",
 			fmtRatio(res.Speedup(base), "%.2fx"), base.Cycles)

@@ -30,6 +30,7 @@ import (
 	"graphpim/internal/graph"
 	"graphpim/internal/harness"
 	"graphpim/internal/machine"
+	"graphpim/internal/mem/ddr"
 	"graphpim/internal/workloads"
 )
 
@@ -151,6 +152,27 @@ type Options struct {
 	// (results are identical either way); a violation panics with
 	// subsystem/cycle/core context.
 	Check bool
+	// Memory selects the main-memory backend: "" or "hmc" for the
+	// paper's HMC cube, "ddr" for a conventional DDR4-style host memory
+	// with no PIM units. On "ddr" the offload configurations degrade
+	// gracefully to the conventional datapath (nothing can offload), so
+	// ConfigGraphPIM behaves exactly like ConfigBaseline.
+	Memory string
+}
+
+// Validate reports an out-of-range option. NewRun panics on invalid
+// options; callers that want an error (e.g. the CLI, to exit with a
+// usage message) validate first.
+func (o Options) Validate() error {
+	if o.Threads <= 0 || o.Threads > 16 {
+		return fmt.Errorf("graphpim: thread count %d outside [1,16]", o.Threads)
+	}
+	switch o.Memory {
+	case "", "hmc", "ddr":
+	default:
+		return fmt.Errorf("graphpim: unknown memory backend %q (valid: hmc, ddr)", o.Memory)
+	}
+	return nil
 }
 
 // DefaultOptions returns 16 threads with scaled caches.
@@ -169,8 +191,8 @@ type Run struct {
 
 // NewRun prepares a simulation run over g.
 func NewRun(g *Graph, opts Options) *Run {
-	if opts.Threads <= 0 || opts.Threads > 16 {
-		panic(fmt.Sprintf("graphpim: thread count %d outside [1,16]", opts.Threads))
+	if err := opts.Validate(); err != nil {
+		panic(err.Error())
 	}
 	return &Run{g: g, opts: opts}
 }
@@ -196,6 +218,9 @@ func (r *Run) machineConfig(cfg Config, w Workload) machine.Config {
 	}
 	if r.opts.Check {
 		mc.Check = check.Periodic
+	}
+	if r.opts.Memory == "ddr" {
+		mc.Mem = ddr.DefaultConfig()
 	}
 	return mc
 }

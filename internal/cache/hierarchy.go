@@ -3,18 +3,16 @@ package cache
 import (
 	"fmt"
 
+	"graphpim/internal/mem"
 	"graphpim/internal/memmap"
 	"graphpim/internal/sim"
 )
 
-// Backend is the memory below the L3 — in this repository, the HMC model.
-// ReadLine is on the critical path and returns its latency; WriteLine is a
-// posted writeback whose latency is off the critical path but whose
-// bandwidth and bank occupancy still count.
-type Backend interface {
-	ReadLine(lineAddr memmap.Addr, now uint64) uint64
-	WriteLine(lineAddr memmap.Addr, now uint64)
-}
+// Backend is the memory below the L3: the line-granular subset of the
+// mem.Backend contract. ReadLine is on the critical path and returns its
+// latency; WriteLine is a posted writeback whose latency is off the
+// critical path but whose bandwidth and bank occupancy still count.
+type Backend = mem.LineBackend
 
 // Level identifies where an access was satisfied.
 type Level uint8

@@ -192,8 +192,8 @@ func TestFig17RunsBothApps(t *testing.T) {
 
 func TestExtrasRegistered(t *testing.T) {
 	extras := Extras()
-	if len(extras) != 6 {
-		t.Fatalf("extras = %d, want 6", len(extras))
+	if len(extras) != 7 {
+		t.Fatalf("extras = %d, want 7", len(extras))
 	}
 	for _, ex := range extras {
 		if ex.ID == "" || ex.Run == nil {
@@ -201,6 +201,25 @@ func TestExtrasRegistered(t *testing.T) {
 		}
 		if _, err := ByID(ex.ID); err != nil {
 			t.Fatalf("extra %q not resolvable via ByID", ex.ID)
+		}
+	}
+}
+
+// TestExtDDRHostDegradesGracefully runs the backend-swap experiment and
+// pins its structural invariant: GraphPIM on the PIM-less DDR backend is
+// exactly the DDR baseline (1.00x), for every workload.
+func TestExtDDRHostDegradesGracefully(t *testing.T) {
+	ex, err := ByID("ext-ddr-host")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := ex.Run(checkedQuickEnv())
+	if len(tb.Rows) != len(workloads.EvalSet()) {
+		t.Fatalf("rows = %d, want %d", len(tb.Rows), len(workloads.EvalSet()))
+	}
+	for _, row := range tb.Rows {
+		if got := row[len(row)-1]; got != "1.00x" {
+			t.Fatalf("%s: GraphPIM-on-DDR speedup over DDR baseline = %s, want 1.00x", row[0], got)
 		}
 	}
 }

@@ -69,6 +69,65 @@ func TestPoolAtomicRouting(t *testing.T) {
 	}
 }
 
+// TestPoolPageRoundRobinProperty checks the interleaving function for
+// every supported chain length: with the default 4KB granularity,
+// sequential pages cycle round-robin over the chain, and every offset
+// inside a page routes to the page's cube.
+func TestPoolPageRoundRobinProperty(t *testing.T) {
+	r := sim.NewRand(77)
+	for _, cubes := range []int{1, 2, 4, 8} {
+		p := NewPool(DefaultPoolConfig(cubes), sim.NewStats())
+		for page := 0; page < 64; page++ {
+			want := page % cubes
+			base := memmap.Addr(page * 4096)
+			if got := p.CubeFor(base); got != want {
+				t.Fatalf("%d cubes: page %d routed to cube %d, want %d", cubes, page, got, want)
+			}
+			for trial := 0; trial < 8; trial++ {
+				off := memmap.Addr(r.Uint64() % 4096)
+				if got := p.CubeFor(base + off); got != want {
+					t.Fatalf("%d cubes: page %d offset %d routed to cube %d, want %d",
+						cubes, page, off, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestPoolFarCubeHopMonotonicity checks the chain-latency property:
+// within a chain, an idle read to cube i is never faster when i grows
+// (every pass-through hop adds latency), and across chain lengths
+// 1→2→4→8 the farthest cube's idle latency is weakly monotone — longer
+// chains cannot shorten the farthest round trip. Fresh pools per probe
+// keep every measurement contention-free.
+func TestPoolFarCubeHopMonotonicity(t *testing.T) {
+	idleRead := func(cubes, cube int) uint64 {
+		p := NewPool(DefaultPoolConfig(cubes), sim.NewStats())
+		return p.ReadLine(memmap.Addr(cube*4096), 0)
+	}
+	for _, cubes := range []int{2, 4, 8} {
+		prev := idleRead(cubes, 0)
+		for i := 1; i < cubes; i++ {
+			lat := idleRead(cubes, i)
+			if lat < prev {
+				t.Fatalf("%d cubes: cube %d idle latency %d below cube %d's %d",
+					cubes, i, lat, i-1, prev)
+			}
+			prev = lat
+		}
+	}
+	chains := []int{1, 2, 4, 8}
+	var prevFar uint64
+	for _, cubes := range chains {
+		far := idleRead(cubes, cubes-1)
+		if far < prevFar {
+			t.Fatalf("%d-cube chain: farthest latency %d below the previous chain's %d",
+				cubes, far, prevFar)
+		}
+		prevFar = far
+	}
+}
+
 func TestPoolValidation(t *testing.T) {
 	for _, n := range []int{0, 3, 16} {
 		func() {

@@ -20,7 +20,7 @@ import (
 // on Run-local state and are audited inline in Run instead.
 func (m *Machine) registerAuditors() {
 	m.checks.Register("cache", check.NoCore, func(uint64) error { return m.cache.CheckInvariants() })
-	m.checks.Register("hmc", check.NoCore, m.cube.Audit)
+	m.checks.Register(m.memKind, check.NoCore, m.mem.Audit)
 	for i, c := range m.cores {
 		m.checks.Register("cpu", i, c.Audit)
 	}
@@ -29,10 +29,12 @@ func (m *Machine) registerAuditors() {
 
 // auditStats cross-checks counter identities that hold by construction
 // across subsystem boundaries: every L1 miss probes the L2, every L3
-// miss (plus every prefetch) reads the HMC, every UC access the machine
-// routed shows up in the cube's UC counters, and so on. A drifting
-// counter pair means double- or under-counting somewhere between two
-// subsystems — exactly the class of bug goldens average away.
+// miss (plus every prefetch) reads the memory backend, every UC access
+// the machine routed shows up in the backend's UC counters, and so on.
+// The backend side of each pair comes from its CounterNames declaration,
+// so the identities hold for any substrate. A drifting counter pair
+// means double- or under-counting somewhere between two subsystems —
+// exactly the class of bug goldens average away.
 func (m *Machine) auditStats() error {
 	get := m.stats.Get
 	eq := func(a, b string) error {
@@ -46,16 +48,27 @@ func (m *Machine) auditStats() error {
 			return fmt.Errorf("%s.access = %d but hit+miss = %d", lvl, acc, hm)
 		}
 	}
+	names := m.mem.Counters()
 	checks := [][2]string{
 		{"cache.l1.miss", "cache.l2.access"},
 		{"cache.l2.miss", "cache.l3.access"},
-		{"hmc.reads", "cache.mem.reads"},
-		{"hmc.writes", "cache.mem.writebacks"},
-		{"hmc.uc.reads", "mem.uc_loads"},
-		{"hmc.uc.writes", "mem.uc_stores"},
-		{"hmc.atomics", "mem.pim_atomics"},
+		{names.Reads, "cache.mem.reads"},
+		{names.Writes, "cache.mem.writebacks"},
+		{names.UCReads, "mem.uc_loads"},
+		{names.UCWrites, "mem.uc_stores"},
+	}
+	if names.Atomics != "" {
+		checks = append(checks, [2]string{names.Atomics, "mem.pim_atomics"})
+	} else if n := get("mem.pim_atomics"); n != 0 {
+		// A backend with no atomic counter has no PIM units; capability
+		// negotiation must have kept every atomic on the host path.
+		return fmt.Errorf("mem.pim_atomics = %d on a backend with no atomic offload", n)
 	}
 	for _, c := range checks {
+		if c[0] == "" {
+			// The backend does not model this quantity.
+			continue
+		}
 		if err := eq(c[0], c[1]); err != nil {
 			return err
 		}

@@ -1,0 +1,141 @@
+package machine
+
+import (
+	"reflect"
+	"testing"
+
+	"graphpim/internal/check"
+	"graphpim/internal/mem/ddr"
+	"graphpim/internal/mem/hmcbackend"
+	"graphpim/internal/sim"
+)
+
+// TestExplicitHMCBackendIdentity is the machine-level half of the
+// backend-extraction gate: a machine built with Mem unset (the default
+// HMC wiring) and one built with the equivalent explicit
+// hmcbackend.Config must produce byte-identical Results — cycles,
+// retired instructions, and the full counter snapshot — over randomized
+// traces, every configuration, and chained cubes.
+func TestExplicitHMCBackendIdentity(t *testing.T) {
+	configs := []func() Config{Baseline, func() Config { return GraphPIM(true) }, func() Config { return UPEI(false) }}
+	for seed := uint64(0); seed < 6; seed++ {
+		r := sim.NewRand(900 + seed)
+		sp, tr := randomTrace(r)
+		for ci, mk := range configs {
+			for _, cubes := range []int{1, 4} {
+				implicit := mk()
+				implicit.HMCCubes = cubes
+				explicit := mk()
+				explicit.HMCCubes = cubes
+				hc := hmcbackend.DefaultConfig(cubes)
+				hc.Cube = explicit.HMC
+				explicit.Mem = hc
+
+				a := RunTrace(implicit, sp, tr)
+				b := RunTrace(explicit, sp, tr)
+				if !reflect.DeepEqual(a, b) {
+					t.Fatalf("seed %d config %d cubes %d: implicit and explicit HMC backends diverge:\n%+v\n%+v",
+						seed, ci, cubes, a, b)
+				}
+			}
+		}
+	}
+}
+
+// ddrConfig returns cfg running on the DDR backend.
+func ddrConfig(cfg Config) Config {
+	cfg.Mem = ddr.DefaultConfig()
+	return cfg
+}
+
+// TestDDRGracefulDegradation checks the capability negotiation end to
+// end: a GraphPIM configuration on the PIM-less DDR backend must (a)
+// run to completion under full periodic audits, (b) offload nothing —
+// every atomic executes host-side — and (c) behave identically to the
+// Baseline configuration on the same backend, since with no offload
+// capability the entire PMR policy degrades to the conventional
+// datapath.
+func TestDDRGracefulDegradation(t *testing.T) {
+	sp, tr := synthWorkload(4, 300, 1<<14, 11)
+	gp := ddrConfig(GraphPIM(false))
+	gp.Check = check.Periodic
+	gp.CheckInterval = 256
+	res := RunTrace(gp, sp, tr)
+
+	if res.Cycles == 0 || res.Instructions != tr.TotalInstructions() {
+		t.Fatalf("DDR run incomplete: %+v", res)
+	}
+	if n := res.Stats["mem.pim_atomics"]; n != 0 {
+		t.Fatalf("DDR run offloaded %d atomics", n)
+	}
+	if res.Stats["mem.host_atomics"] == 0 {
+		t.Fatal("no host atomics on an atomic-heavy workload")
+	}
+	if res.Stats["ddr.reads"] == 0 || res.Stats["ddr.bus.rd_bytes"] == 0 {
+		t.Fatalf("DDR counters not populated: %v", res.Stats)
+	}
+	if res.Stats["hmc.reads"] != 0 {
+		t.Fatal("hmc counters populated on a DDR run")
+	}
+
+	base := RunTrace(ddrConfig(Baseline()), sp, tr)
+	if res.Cycles != base.Cycles {
+		t.Fatalf("GraphPIM-on-DDR ran %d cycles but Baseline-on-DDR %d (should be identical)",
+			res.Cycles, base.Cycles)
+	}
+}
+
+// TestDDRMemStatAliases checks the backend-neutral counter resolution
+// on a DDR result: canonical reads resolve to ddr.reads, FLIT aliases
+// resolve to zero, byte aliases to the bus counters.
+func TestDDRMemStatAliases(t *testing.T) {
+	sp, tr := synthWorkload(2, 100, 1<<12, 3)
+	res := RunTrace(ddrConfig(Baseline()), sp, tr)
+	if got, want := res.MemStat("mem.reads"), res.Stats["ddr.reads"]; got != want || got == 0 {
+		t.Fatalf("MemStat(mem.reads) = %d, ddr.reads = %d", got, want)
+	}
+	if res.TotalFlits() != 0 {
+		t.Fatalf("TotalFlits = %d on a DDR run", res.TotalFlits())
+	}
+	if got, want := res.MemStat("mem.rsp.bytes"), res.Stats["ddr.bus.rd_bytes"]; got != want || got == 0 {
+		t.Fatalf("MemStat(mem.rsp.bytes) = %d, ddr.bus.rd_bytes = %d", got, want)
+	}
+}
+
+// TestFPAtomicWithoutFPFUFallsBackToHost pins the per-command half of
+// the negotiation: an extended-atomics GraphPIM machine whose cubes
+// have no FP functional units must route FP accumulates to the host
+// path (this used to panic in the cube model) while integer atomics
+// keep offloading.
+func TestFPAtomicWithoutFPFUFallsBackToHost(t *testing.T) {
+	for seed := uint64(0); seed < 4; seed++ {
+		r := sim.NewRand(7700 + seed)
+		sp, tr := randomTrace(r)
+		cfg := GraphPIM(true)
+		cfg.HMC.FPFUsPerVault = 0
+		cfg.Check = check.Periodic
+		res := RunTrace(cfg, sp, tr)
+		if n := res.Stats["hmc.atomic.EXT_FPADD64"] + res.Stats["hmc.atomic.EXT_FPSUB64"]; n != 0 {
+			t.Fatalf("seed %d: %d FP atomics offloaded to FP-less cubes", seed, n)
+		}
+		if res.Stats["mem.pim_atomics"] == 0 {
+			t.Fatalf("seed %d: integer atomics stopped offloading", seed)
+		}
+	}
+}
+
+// TestFaultInjectionDDRBusLane proves the sanitizer reaches the DDR
+// backend through the interface and attributes failures to the "ddr"
+// subsystem.
+func TestFaultInjectionDDRBusLane(t *testing.T) {
+	sp, tr := synthWorkload(4, 400, 1<<14, 36)
+	cfg := ddrConfig(Baseline())
+	cfg.Check = check.Periodic
+	cfg.CheckInterval = 64
+	m := New(cfg, sp, tr)
+	corruptAtTick(t, 400, func() { m.mem.(*ddr.System).CorruptBusLaneForTest() })
+	f := expectFailure(t, "ddr", func() { m.Run(0) })
+	if f.Cycle == 0 {
+		t.Fatalf("failure carries no cycle: %v", f)
+	}
+}

@@ -1,13 +1,19 @@
 // Package machine assembles the full simulated system of Table IV: 16
 // out-of-order cores with private L1/L2 and a shared L3, a PIM offloading
-// unit per core, and one HMC cube as main memory. It implements the three
-// system configurations the paper evaluates:
+// unit per core, and a pluggable main-memory backend (the HMC cube chain
+// by default; see internal/mem). It implements the three system
+// configurations the paper evaluates:
 //
 //   - Baseline: conventional architecture, host atomics through the caches;
 //   - U-PEI: idealized PEI — candidates that hit in cache execute host-side
 //     with no coherence cost, misses offload to the HMC;
 //   - GraphPIM: PMR atomics offload unconditionally and all PMR accesses
 //     bypass the cache hierarchy.
+//
+// The machine speaks only the mem.Backend contract: offload capability is
+// negotiated per atomic command through CanOffload, so a configuration
+// that asks for offloading on a substrate without the required PIM units
+// degrades to host atomics instead of failing.
 package machine
 
 import (
@@ -17,8 +23,9 @@ import (
 	"graphpim/internal/cache"
 	"graphpim/internal/check"
 	"graphpim/internal/cpu"
-	"graphpim/internal/hmc"
 	"graphpim/internal/hmcatomic"
+	"graphpim/internal/mem"
+	"graphpim/internal/mem/hmcbackend"
 	"graphpim/internal/memmap"
 	"graphpim/internal/pou"
 	"graphpim/internal/sim"
@@ -35,13 +42,20 @@ type Config struct {
 
 	CPU   cpu.Config
 	Cache cache.Config
-	HMC   hmc.Config
-	POU   pou.Config
+	// HMC tunes the per-cube parameters of the default HMC backend
+	// (ignored when Mem overrides the backend entirely).
+	HMC hmcbackend.CubeConfig
+	POU pou.Config
 
 	// HMCCubes chains multiple cubes (HMC supports up to 8); addresses
 	// interleave across the chain at page granularity and far cubes pay
-	// pass-through hop latency.
+	// pass-through hop latency. Ignored when Mem is set.
 	HMCCubes int
+
+	// Mem selects the main-memory backend. Nil means the default HMC
+	// chain built from HMC/HMCCubes; set it (e.g. to a ddr.Config) to
+	// run the same machine on a different substrate.
+	Mem mem.Config
 
 	// HostAtomicRMW is the extra in-core cycles a host atomic spends
 	// locking the line and performing the read-modify-write.
@@ -104,7 +118,7 @@ func newConfig(name string, p pou.Config) Config {
 		NumCores:          cores,
 		CPU:               cpu.DefaultConfig(),
 		Cache:             cache.DefaultConfig(cores),
-		HMC:               hmc.DefaultConfig(),
+		HMC:               hmcbackend.DefaultCubeConfig(),
 		POU:               p,
 		HMCCubes:          1,
 		HostAtomicRMW:     8,
@@ -153,9 +167,17 @@ func (r Result) Speedup(base Result) float64 {
 	return float64(base.Cycles) / float64(r.Cycles)
 }
 
-// TotalFlits returns request+response link FLITs.
+// TotalFlits returns request+response link FLITs, resolved through the
+// backend-neutral counter aliases (zero for backends whose interconnect
+// is not FLIT-based).
 func (r Result) TotalFlits() uint64 {
-	return r.Stats["hmc.flits.req"] + r.Stats["hmc.flits.rsp"]
+	return mem.Stat(r.Stats, mem.StatReqFlits) + mem.Stat(r.Stats, mem.StatRspFlits)
+}
+
+// MemStat resolves a canonical backend-neutral counter name ("mem.reads",
+// "mem.req.bytes", ...) against the result's stats; see mem.Stat.
+func (r Result) MemStat(canonical string) uint64 {
+	return mem.Stat(r.Stats, canonical)
 }
 
 // machCounters holds pre-resolved handles for every counter the machine
@@ -203,14 +225,32 @@ type Machine struct {
 	stats *sim.Stats
 	ctr   machCounters
 	space *memmap.AddressSpace
-	cube  *hmc.Pool
-	cache *cache.Hierarchy
-	pou   *pou.Unit
-	cores []*cpu.Core
+	mem   mem.Backend
+	// memKind is the backend's short name ("hmc", "ddr"), used as its
+	// sanitizer subsystem label.
+	memKind string
+	cache   *cache.Hierarchy
+	pou     *pou.Unit
+	cores   []*cpu.Core
 	// ucFree is each core's next allowed UC issue time (UC ordering).
 	ucFree []uint64
 	// checks is the sanitizer registry; nil when cfg.Check is Off.
 	checks *check.Registry
+}
+
+// memConfig resolves the effective backend configuration: Mem when set,
+// otherwise the default HMC chain built from the HMC/HMCCubes knobs.
+func (c Config) memConfig() mem.Config {
+	if c.Mem != nil {
+		return c.Mem
+	}
+	cubes := c.HMCCubes
+	if cubes == 0 {
+		cubes = 1
+	}
+	hc := hmcbackend.DefaultConfig(cubes)
+	hc.Cube = c.HMC
+	return hc
 }
 
 // New assembles a machine for the given trace. The trace must have been
@@ -220,22 +260,34 @@ func New(cfg Config, space *memmap.AddressSpace, tr *trace.Trace) *Machine {
 		panic(fmt.Sprintf("machine: trace has %d threads but machine has %d cores",
 			tr.NumThreads(), cfg.NumCores))
 	}
+	if err := cfg.Validate(); err != nil {
+		panic("machine: " + err.Error())
+	}
 	st := sim.NewStats()
-	cubes := cfg.HMCCubes
-	if cubes == 0 {
-		cubes = 1
+	memCfg := cfg.memConfig()
+	backend := memCfg.New(st)
+	pouCfg := cfg.POU
+	if pouCfg.OffloadAtomics && !backend.CanOffload(hmcatomic.Add16) {
+		// Capability negotiation, wholesale: a substrate that cannot
+		// execute even the basic integer atomic near memory has no PIM
+		// units at all, so the framework would never allocate a PMR on
+		// it — the whole offload policy (UC bypass included) degrades
+		// to the conventional datapath. Partial capability (e.g. no FP
+		// units) is negotiated per command inside the POU instead.
+		pouCfg.OffloadAtomics = false
+		pouCfg.UCBypass = false
+		pouCfg.PMRActive = false
 	}
-	poolCfg := hmc.DefaultPoolConfig(cubes)
-	poolCfg.Cube = cfg.HMC
 	m := &Machine{
-		cfg:   cfg,
-		stats: st,
-		ctr:   resolveMachCounters(st),
-		space: space,
-		cube:  hmc.NewPool(poolCfg, st),
-		pou:   pou.New(cfg.POU, space),
+		cfg:     cfg,
+		stats:   st,
+		ctr:     resolveMachCounters(st),
+		space:   space,
+		mem:     backend,
+		memKind: memCfg.Kind(),
+		pou:     pou.NewWithCaps(pouCfg, space, backend),
 	}
-	m.cache = cache.New(cfg.Cache, m.cube, st)
+	m.cache = cache.New(cfg.Cache, m.mem, st)
 	m.ucFree = make([]uint64, cfg.NumCores)
 	for c := 0; c < cfg.NumCores; c++ {
 		var stream []trace.Instr
@@ -264,7 +316,7 @@ func (m *Machine) Load(core int, in trace.Instr, now uint64) cpu.MemResult {
 			at = m.ucFree[core]
 		}
 		m.ucFree[core] = at + m.cfg.UCIssueGap
-		lat := m.cube.UCRead(in.Addr, at)
+		lat := m.mem.UCRead(in.Addr, at)
 		return cpu.MemResult{CompleteAt: at + lat, OffChip: true}
 	}
 	m.ctr.loads[in.Region].Inc()
@@ -282,7 +334,7 @@ func (m *Machine) Store(core int, in trace.Instr, now uint64) cpu.MemResult {
 			at = m.ucFree[core]
 		}
 		m.ucFree[core] = at + m.cfg.UCIssueGap
-		done := m.cube.UCWrite(in.Addr, at)
+		done := m.mem.UCWrite(in.Addr, at)
 		return cpu.MemResult{CompleteAt: done, OffChip: true}
 	}
 	m.ctr.stores[in.Region].Inc()
@@ -364,7 +416,7 @@ func (m *Machine) Atomic(core int, in trace.Instr, now uint64) cpu.AtomicResult 
 			// coherence keeps nothing to write back).
 			walk := m.probeLatency(lvl)
 			m.ctr.pimAtomics.Inc()
-			t := m.cube.Atomic(d.Op, in.Addr, hmcatomic.Value{}, now+walk)
+			t := m.mem.Atomic(d.Op, in.Addr, hmcatomic.Value{}, now+walk)
 			return cpu.AtomicResult{
 				AcceptedAt:    t.Accepted,
 				CompleteAt:    t.ResponseAt,
@@ -375,7 +427,7 @@ func (m *Machine) Atomic(core int, in trace.Instr, now uint64) cpu.AtomicResult 
 		}
 		// GraphPIM: offload immediately, no cache involvement at all.
 		m.ctr.pimAtomics.Inc()
-		t := m.cube.Atomic(d.Op, in.Addr, hmcatomic.Value{}, now)
+		t := m.mem.Atomic(d.Op, in.Addr, hmcatomic.Value{}, now)
 		return cpu.AtomicResult{
 			AcceptedAt: t.Accepted,
 			CompleteAt: t.ResponseAt,

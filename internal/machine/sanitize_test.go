@@ -6,6 +6,7 @@ import (
 
 	"graphpim/internal/check"
 	"graphpim/internal/cpu"
+	"graphpim/internal/mem/hmcbackend"
 	"graphpim/internal/sim"
 )
 
@@ -167,7 +168,7 @@ func TestFaultInjectionMSHRLeak(t *testing.T) {
 
 func TestFaultInjectionLinkLaneOverReservation(t *testing.T) {
 	m := checkedMachine(33)
-	corruptAtTick(t, 400, func() { m.cube.CorruptLinkLaneForTest() })
+	corruptAtTick(t, 400, func() { m.mem.(*hmcbackend.Backend).CorruptLinkLaneForTest() })
 	f := expectFailure(t, "hmc", func() { m.Run(0) })
 	if f.Cycle == 0 {
 		t.Fatalf("failure carries no cycle: %v", f)

@@ -1,0 +1,365 @@
+// Package ddr models a conventional DDR4-style host memory system as a
+// mem.Backend: independent channels, each with ranks of DRAM banks
+// behind a shared 64-bit data bus. It is the "what if the same machine
+// ran on commodity DIMMs" substrate — there is no logic layer and no
+// near-memory functional units, so CanOffload is always false and
+// GraphPIM configurations degrade gracefully to host atomics through
+// the POU's capability negotiation.
+//
+// Like the HMC model, it is a latency oracle with resource bookkeeping:
+// each request computes its completion time from the current occupancy
+// of the target bank and the channel data bus, updating those
+// occupancies as it goes. The structural contrast with the cube is the
+// point of the model: a few dozen banks instead of hundreds of vaults'
+// worth, and an order of magnitude less aggregate bandwidth.
+package ddr
+
+import (
+	"fmt"
+	"math"
+
+	"graphpim/internal/hmcatomic"
+	"graphpim/internal/mem"
+	"graphpim/internal/memmap"
+	"graphpim/internal/sim"
+)
+
+// Config describes the DDR memory system.
+type Config struct {
+	// Channels is the number of independent memory channels (power of
+	// two). Each channel has its own command/data bus.
+	Channels int
+	// RanksPerChannel and BanksPerRank give the bank resources behind
+	// each channel (powers of two).
+	RanksPerChannel int
+	BanksPerRank    int
+
+	// DRAM timing in nanoseconds.
+	TRCDNs, TCLNs, TRPNs, TRASNs float64
+
+	// ChannelGBs is the peak data-bus bandwidth per channel in GB/s
+	// (DDR4-2400 x64: 19.2).
+	ChannelGBs float64
+	// BusLatency is the fixed one-way on-chip traversal plus controller
+	// queueing latency in core cycles.
+	BusLatency uint64
+
+	// OpenPage keeps DRAM rows open between accesses (the usual host
+	// controller policy): a row-buffer hit pays only tCL, a conflict
+	// pays tRP+tRCD+tCL.
+	OpenPage bool
+	// RowBytes is the DRAM row size per bank for the open-page policy.
+	RowBytes uint64
+}
+
+// DefaultConfig returns a 4-channel DDR4-2400-like configuration: 2
+// ranks of 16 banks per channel, 19.2GB/s per channel, open-page with
+// 8KB rows. DRAM core timings match the HMC cube's (the DRAM arrays are
+// the same technology; the substrates differ in parallelism, bandwidth,
+// and near-memory compute).
+func DefaultConfig() Config {
+	return Config{
+		Channels:        4,
+		RanksPerChannel: 2,
+		BanksPerRank:    16,
+		TRCDNs:          13.75,
+		TCLNs:           13.75,
+		TRPNs:           13.75,
+		TRASNs:          27.5,
+		ChannelGBs:      19.2,
+		BusLatency:      18,
+		OpenPage:        true,
+		RowBytes:        8192,
+	}
+}
+
+// Kind implements mem.Config.
+func (c Config) Kind() string { return "ddr" }
+
+// Validate implements mem.Config.
+func (c Config) Validate() error {
+	pow2 := func(name string, n int) error {
+		if n <= 0 || n&(n-1) != 0 {
+			return fmt.Errorf("ddr: %s %d must be a power of two >= 1", name, n)
+		}
+		return nil
+	}
+	if err := pow2("channel count", c.Channels); err != nil {
+		return err
+	}
+	if err := pow2("rank count", c.RanksPerChannel); err != nil {
+		return err
+	}
+	if err := pow2("bank count", c.BanksPerRank); err != nil {
+		return err
+	}
+	if c.TRCDNs <= 0 || c.TCLNs <= 0 || c.TRPNs <= 0 || c.TRASNs <= 0 {
+		return fmt.Errorf("ddr: non-positive DRAM timing (tRCD=%g tCL=%g tRP=%g tRAS=%g)",
+			c.TRCDNs, c.TCLNs, c.TRPNs, c.TRASNs)
+	}
+	if c.ChannelGBs <= 0 {
+		return fmt.Errorf("ddr: non-positive channel bandwidth %g GB/s", c.ChannelGBs)
+	}
+	return nil
+}
+
+// New implements mem.Config.
+func (c Config) New(stats *sim.Stats) mem.Backend {
+	if err := c.Validate(); err != nil {
+		panic(err.Error())
+	}
+	if c.RowBytes == 0 {
+		c.RowBytes = 8192
+	}
+	banks := c.RanksPerChannel * c.BanksPerRank
+	s := &System{
+		cfg:         c,
+		ctr:         resolveCounters(stats),
+		tRCD:        sim.NsToCycles(c.TRCDNs),
+		tCL:         sim.NsToCycles(c.TCLNs),
+		tRP:         sim.NsToCycles(c.TRPNs),
+		tRAS:        sim.NsToCycles(c.TRASNs),
+		chBits:      log2(c.Channels),
+		bankBits:    log2(banks),
+		linesPerRow: c.RowBytes / burstBytes,
+	}
+	s.tRC = s.tRAS + s.tRP
+	bytesPerCycle := c.ChannelGBs * 1e9 / (sim.CoreClockGHz * 1e9)
+	for ch := 0; ch < c.Channels; ch++ {
+		s.bus = append(s.bus, newBusLane(bytesPerCycle))
+		s.bankFree = append(s.bankFree, make([]uint64, banks))
+		s.openRow = append(s.openRow, make([]uint64, banks))
+	}
+	return s
+}
+
+// counters holds pre-resolved stat handles for the per-request paths.
+type counters struct {
+	reads, writes     sim.Counter
+	ucReads, ucWrites sim.Counter
+
+	activates    sim.Counter
+	rowHits      sim.Counter
+	rowConflicts sim.Counter
+
+	busRdBytes sim.Counter
+	busWrBytes sim.Counter
+}
+
+func resolveCounters(stats *sim.Stats) counters {
+	return counters{
+		reads:        stats.Counter("ddr.reads"),
+		writes:       stats.Counter("ddr.writes"),
+		ucReads:      stats.Counter("ddr.uc.reads"),
+		ucWrites:     stats.Counter("ddr.uc.writes"),
+		activates:    stats.Counter("ddr.dram.activates"),
+		rowHits:      stats.Counter("ddr.dram.row_hits"),
+		rowConflicts: stats.Counter("ddr.dram.row_conflicts"),
+		busRdBytes:   stats.Counter("ddr.bus.rd_bytes"),
+		busWrBytes:   stats.Counter("ddr.bus.wr_bytes"),
+	}
+}
+
+// burstBytes is the minimum transfer unit: a BL8 burst on a 64-bit bus.
+// Sub-line UC accesses still occupy a full burst.
+const burstBytes = 64
+
+// busLane models one channel's data bus as fixed-width time epochs with
+// a byte budget each — the same structure as the HMC link lane, scaled
+// to bytes. A transfer reserves budget starting at the epoch containing
+// its ready time, spilling into later epochs when the bus is saturated,
+// so out-of-order ready times do not head-of-line block.
+type busLane struct {
+	epochCycles  uint64
+	epochBudget  float64 // bytes per epoch
+	epochs       []float64
+	epochIdx     []uint64
+	perByteDelay float64
+}
+
+const busEpochCycles = 32
+
+func newBusLane(bytesPerCycle float64) *busLane {
+	const slots = 1 << 14
+	return &busLane{
+		epochCycles:  busEpochCycles,
+		epochBudget:  bytesPerCycle * busEpochCycles,
+		epochs:       make([]float64, slots),
+		epochIdx:     make([]uint64, slots),
+		perByteDelay: 1 / bytesPerCycle,
+	}
+}
+
+// reserve books bytes no earlier than ready and returns the cycle at
+// which the transfer has fully crossed the bus.
+func (l *busLane) reserve(ready uint64, bytes int) uint64 {
+	e := ready / l.epochCycles
+	need := float64(bytes)
+	for {
+		slot := e % uint64(len(l.epochs))
+		if l.epochIdx[slot] != e {
+			l.epochIdx[slot] = e
+			l.epochs[slot] = 0
+		}
+		if l.epochs[slot]+need <= l.epochBudget {
+			l.epochs[slot] += need
+			start := ready
+			if es := e * l.epochCycles; es > start {
+				start = es
+			}
+			ser := uint64(math.Ceil(float64(bytes) * l.perByteDelay))
+			return start + ser
+		}
+		e++
+	}
+}
+
+// System is the assembled DDR memory system.
+type System struct {
+	cfg Config
+	ctr counters
+
+	tRCD, tCL, tRP, tRAS, tRC uint64
+
+	// chBits/bankBits are the address-interleaving field widths;
+	// linesPerRow is the row capacity in minimum bursts.
+	chBits, bankBits int
+	linesPerRow      uint64
+
+	bus      []*busLane // per channel
+	bankFree [][]uint64 // [channel][rank*banksPerRank+bank] next free cycle
+	openRow  [][]uint64 // open row id + 1 (0 = closed)
+}
+
+func maxu(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// route maps an address to its channel, bank slot, and row: consecutive
+// 64-byte lines interleave across channels first (spreading streaming
+// traffic over every bus), then across the channel's banks; the bits
+// above the interleave fields index the bank's own line sequence, whose
+// rows hold linesPerRow bursts each. Deriving the row from the
+// bank-local index (not the raw physical address) is what gives
+// streaming traffic its row locality: a sequential sweep keeps every
+// bank on its open row.
+func (s *System) route(addr memmap.Addr) (ch, bank int, row uint64) {
+	block := uint64(addr) >> 6
+	ch = int(block & uint64(s.cfg.Channels-1))
+	banks := s.cfg.RanksPerChannel * s.cfg.BanksPerRank
+	bank = int((block >> uint(s.chBits)) & uint64(banks-1))
+	row = (block>>uint(s.chBits+s.bankBits))/s.linesPerRow + 1
+	return
+}
+
+func log2(n int) int {
+	k := 0
+	for 1<<uint(k) < n {
+		k++
+	}
+	return k
+}
+
+// bankAccess reserves the target bank starting no earlier than arrive
+// and returns the cycle at which data is available, mirroring the HMC
+// model's row-buffer policies.
+func (s *System) bankAccess(ch, bank int, row, arrive uint64) (dataReady uint64) {
+	start := maxu(arrive, s.bankFree[ch][bank])
+	if !s.cfg.OpenPage {
+		dataReady = start + s.tRCD + s.tCL
+		s.bankFree[ch][bank] = start + s.tRC
+		s.ctr.activates.Inc()
+		return dataReady
+	}
+	switch s.openRow[ch][bank] {
+	case row: // row-buffer hit
+		s.ctr.rowHits.Inc()
+		dataReady = start + s.tCL
+		s.bankFree[ch][bank] = dataReady
+	case 0: // bank idle, row closed
+		s.ctr.activates.Inc()
+		dataReady = start + s.tRCD + s.tCL
+		s.bankFree[ch][bank] = dataReady
+	default: // row conflict: precharge, then activate
+		s.ctr.activates.Inc()
+		s.ctr.rowConflicts.Inc()
+		dataReady = start + s.tRP + s.tRCD + s.tCL
+		s.bankFree[ch][bank] = dataReady
+	}
+	s.openRow[ch][bank] = row
+	return dataReady
+}
+
+// read is the shared critical-path read timing: command to the bank,
+// burst back over the channel bus.
+func (s *System) read(addr memmap.Addr, now uint64) (done uint64) {
+	ch, bank, row := s.route(addr)
+	arrive := now + s.cfg.BusLatency
+	ready := s.bankAccess(ch, bank, row, arrive)
+	s.ctr.busRdBytes.Add(burstBytes)
+	return s.bus[ch].reserve(ready, burstBytes) + s.cfg.BusLatency
+}
+
+// write is the shared posted-write timing: the burst crosses the bus
+// with the command, then occupies the bank.
+func (s *System) write(addr memmap.Addr, now uint64) (done uint64) {
+	ch, bank, row := s.route(addr)
+	s.ctr.busWrBytes.Add(burstBytes)
+	arrive := s.bus[ch].reserve(now, burstBytes) + s.cfg.BusLatency
+	return s.bankAccess(ch, bank, row, arrive)
+}
+
+// ReadLine implements mem.Backend: a 64-byte line fill on the critical
+// path. Returns latency relative to now.
+func (s *System) ReadLine(lineAddr memmap.Addr, now uint64) uint64 {
+	s.ctr.reads.Inc()
+	return s.read(lineAddr, now) - now
+}
+
+// WriteLine implements mem.Backend: a posted line writeback. Latency is
+// off the critical path; bus and bank occupancy are modeled.
+func (s *System) WriteLine(lineAddr memmap.Addr, now uint64) {
+	s.ctr.writes.Inc()
+	s.write(lineAddr, now)
+}
+
+// UCRead implements mem.Backend: a sub-line uncacheable read still
+// transfers a full minimum burst. Returns latency.
+func (s *System) UCRead(addr memmap.Addr, now uint64) uint64 {
+	s.ctr.ucReads.Inc()
+	return s.read(addr, now) - now
+}
+
+// UCWrite implements mem.Backend. Returns the cycle at which the write
+// is acknowledged (data written into the bank).
+func (s *System) UCWrite(addr memmap.Addr, now uint64) uint64 {
+	s.ctr.ucWrites.Inc()
+	return s.write(addr, now)
+}
+
+// CanOffload implements mem.Backend: commodity DIMMs have no
+// near-memory compute, so nothing offloads.
+func (s *System) CanOffload(op hmcatomic.Op) bool { return false }
+
+// Atomic implements mem.Backend. Unreachable when the POU negotiates
+// capability correctly; kept as a loud modeling-error guard.
+func (s *System) Atomic(op hmcatomic.Op, addr memmap.Addr, imm hmcatomic.Value, now uint64) mem.AtomicTiming {
+	panic(fmt.Sprintf("ddr: atomic %v offloaded to a backend with no PIM units", op))
+}
+
+// Counters implements mem.Backend. Atomics is empty: the substrate has
+// no offloaded atomics to count.
+func (s *System) Counters() mem.CounterNames {
+	return mem.CounterNames{
+		Namespace:  "ddr",
+		Reads:      "ddr.reads",
+		Writes:     "ddr.writes",
+		UCReads:    "ddr.uc.reads",
+		UCWrites:   "ddr.uc.writes",
+		ReqTraffic: "ddr.bus.wr_bytes",
+		RspTraffic: "ddr.bus.rd_bytes",
+	}
+}

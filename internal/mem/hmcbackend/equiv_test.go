@@ -1,0 +1,141 @@
+package hmcbackend
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"graphpim/internal/hmc"
+	"graphpim/internal/hmcatomic"
+	"graphpim/internal/mem"
+	"graphpim/internal/memmap"
+	"graphpim/internal/sim"
+)
+
+// TestAdapterEquivalence is the refactor's gate at the backend layer:
+// replaying an identical randomized request sequence through a raw
+// hmc.Pool (the pre-interface wiring) and through the mem.Backend
+// adapter must produce identical timings for every single request and
+// an identical final counter snapshot. The adapter adds no state, so
+// any divergence is a forwarding bug.
+func TestAdapterEquivalence(t *testing.T) {
+	for _, cubes := range []int{1, 2, 4, 8} {
+		cubes := cubes
+		t.Run(map[int]string{1: "1cube", 2: "2cubes", 4: "4cubes", 8: "8cubes"}[cubes], func(t *testing.T) {
+			cfg := DefaultConfig(cubes)
+
+			rawStats := sim.NewStats()
+			poolCfg := hmc.DefaultPoolConfig(cubes)
+			raw := hmc.NewPool(poolCfg, rawStats)
+
+			adapStats := sim.NewStats()
+			adap := cfg.New(adapStats)
+
+			rng := rand.New(rand.NewSource(int64(99 + cubes)))
+			var now uint64
+			for i := 0; i < 5000; i++ {
+				addr := memmap.Addr(rng.Uint64() >> 20 << 3) // 8-byte aligned
+				line := memmap.LineAddr(addr)
+				now += uint64(rng.Intn(8))
+				switch rng.Intn(5) {
+				case 0:
+					a, b := raw.ReadLine(line, now), adap.ReadLine(line, now)
+					if a != b {
+						t.Fatalf("op %d: ReadLine latency %d vs %d", i, a, b)
+					}
+				case 1:
+					raw.WriteLine(line, now)
+					adap.WriteLine(line, now)
+				case 2:
+					a, b := raw.UCRead(addr, now), adap.UCRead(addr, now)
+					if a != b {
+						t.Fatalf("op %d: UCRead latency %d vs %d", i, a, b)
+					}
+				case 3:
+					a, b := raw.UCWrite(addr, now), adap.UCWrite(addr, now)
+					if a != b {
+						t.Fatalf("op %d: UCWrite done %d vs %d", i, a, b)
+					}
+				default:
+					// Every offloadable command, FP extension included
+					// (the default cube has an FP FU per vault).
+					op := hmcatomic.Op(rng.Intn(hmcatomic.NumOps))
+					ta := raw.Atomic(op, addr, hmcatomic.Value{}, now)
+					tb := adap.Atomic(op, addr, hmcatomic.Value{}, now)
+					if ta.Accepted != tb.Accepted || ta.ResponseAt != tb.ResponseAt || ta.Flag != tb.Flag {
+						t.Fatalf("op %d: Atomic timing %+v vs %+v", i, ta, tb)
+					}
+				}
+			}
+			if a, b := rawStats.Snapshot(), adapStats.Snapshot(); !reflect.DeepEqual(a, b) {
+				t.Fatalf("counter snapshots diverge:\nraw:     %v\nadapter: %v", a, b)
+			}
+			if err := adap.Audit(now); err != nil {
+				t.Fatalf("adapter audit after clean run: %v", err)
+			}
+		})
+	}
+}
+
+// TestCanOffload pins the capability surface: all HMC 2.0 commands
+// always offload; the FP extension commands need an FP FU in the vault.
+func TestCanOffload(t *testing.T) {
+	withFP := DefaultConfig(1).New(sim.NewStats())
+	noFPCfg := DefaultConfig(1)
+	noFPCfg.Cube.FPFUsPerVault = 0
+	noFP := noFPCfg.New(sim.NewStats())
+	for _, op := range hmcatomic.AllOps() {
+		if !withFP.CanOffload(op) {
+			t.Errorf("default cube refuses %v", op)
+		}
+		if got, want := noFP.CanOffload(op), !hmcatomic.IsFloat(op); got != want {
+			t.Errorf("FP-less cube CanOffload(%v) = %v, want %v", op, got, want)
+		}
+	}
+}
+
+// TestConfigValidate exercises each rejected geometry.
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig(2)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Cubes = 0 },
+		func(c *Config) { c.Cubes = 3 },
+		func(c *Config) { c.Cubes = 16 },
+		func(c *Config) { c.Cube.NumVaults = 0 },
+		func(c *Config) { c.Cube.NumVaults = 24 },
+		func(c *Config) { c.Cube.BanksPerVault = 3 },
+		func(c *Config) { c.Cube.IntFUsPerVault = 0 },
+		func(c *Config) { c.Cube.FPFUsPerVault = -1 },
+	}
+	for i, mutate := range bad {
+		c := DefaultConfig(2)
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d: invalid config accepted", i)
+		}
+	}
+}
+
+// TestCounterNames pins the namespace declaration the machine's stat
+// audits and the mem alias table both rely on.
+func TestCounterNames(t *testing.T) {
+	n := DefaultConfig(1).New(sim.NewStats()).Counters()
+	if n.Namespace != "hmc" || n.Reads != "hmc.reads" || n.Atomics != "hmc.atomics" ||
+		n.ReqTraffic != "hmc.flits.req" || n.RspTraffic != "hmc.flits.rsp" {
+		t.Fatalf("unexpected counter names: %+v", n)
+	}
+	for _, canonical := range []string{mem.StatReads, mem.StatWrites, mem.StatUCReads, mem.StatUCWrites, mem.StatAtomics} {
+		found := false
+		for _, a := range mem.Aliases(canonical) {
+			if a == n.Reads || a == n.Writes || a == n.UCReads || a == n.UCWrites || a == n.Atomics {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("canonical %s has no alias into the hmc namespace", canonical)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+// Package mem defines the machine↔memory contract: a pluggable Backend
+// that owns line fills, posted writebacks, uncacheable sub-line accesses,
+// and — when the substrate has near-memory compute — instruction-level
+// atomic offload. The machine, cache hierarchy, and POU speak only this
+// interface; concrete substrates live in the subpackages:
+//
+//   - mem/hmcbackend — the paper's HMC 2.0 cube chain (Table IV/V), a
+//     thin adapter over internal/hmc;
+//   - mem/ddr — a channel/rank/bank DDR4-style host-memory model with no
+//     PIM units, the conventional-system baseline substrate.
+//
+// Capability is negotiated, not implied: CanOffload reports per-op
+// whether the backend can execute an atomic near memory, and the POU
+// falls back to the host-atomic path when it cannot, so a GraphPIM
+// configuration on a PIM-less backend degrades gracefully instead of
+// panicking.
+//
+// Counters are backend-namespaced ("hmc.*", "ddr.*"). The package keeps
+// a small alias table from canonical backend-neutral names ("mem.reads",
+// "mem.req.flits") to each namespace's concrete counters, so report
+// layers can read traffic generically while every backend keeps emitting
+// its historical names — existing goldens and obs records stay stable.
+package mem
+
+import (
+	"graphpim/internal/hmcatomic"
+	"graphpim/internal/memmap"
+	"graphpim/internal/sim"
+)
+
+// AtomicTiming reports when an offloaded atomic's request was accepted
+// by the host-side interface (a non-returning atomic may retire then)
+// and when its response arrives back at the host (a returning atomic's
+// dependents wait for this).
+type AtomicTiming struct {
+	Accepted   uint64
+	ResponseAt uint64
+	// Flag is the atomic flag from functional execution; meaningful only
+	// for backends built with a functional store.
+	Flag bool
+}
+
+// LineBackend is the cache-facing subset of Backend: ReadLine is on the
+// critical path and returns its latency; WriteLine is a posted writeback
+// whose latency is off the critical path but whose bandwidth and bank
+// occupancy still count.
+type LineBackend interface {
+	ReadLine(lineAddr memmap.Addr, now uint64) uint64
+	WriteLine(lineAddr memmap.Addr, now uint64)
+}
+
+// Backend is one main-memory substrate, ready to serve an assembled
+// machine. All methods are called from the single simulation goroutine
+// driving one machine; implementations need no locking.
+type Backend interface {
+	LineBackend
+
+	// UCRead and UCWrite are uncacheable sub-line accesses (at most 16
+	// bytes), used for non-atomic accesses to the PIM memory region.
+	// UCRead returns its latency; UCWrite returns the absolute cycle at
+	// which the write is acknowledged.
+	UCRead(addr memmap.Addr, now uint64) uint64
+	UCWrite(addr memmap.Addr, now uint64) uint64
+
+	// CanOffload reports whether the backend can execute op as a
+	// near-memory atomic. The POU consults it when routing (capability
+	// negotiation); Atomic must only be called for ops it accepts.
+	CanOffload(op hmcatomic.Op) bool
+	// Atomic executes an offloaded atomic. imm is used only by
+	// functional backends.
+	Atomic(op hmcatomic.Op, addr memmap.Addr, imm hmcatomic.Value, now uint64) AtomicTiming
+
+	// Counters names the backend's counter namespace so the machine's
+	// cross-subsystem stat audits and report layers can find its
+	// traffic without hard-coding a substrate.
+	Counters() CounterNames
+
+	// Audit cross-checks the backend's redundant internal state (the
+	// internal/check sanitizer registers it under Kind()). It must be
+	// read-only: an audited run is byte-identical to an unaudited one.
+	Audit(now uint64) error
+}
+
+// Config constructs a Backend. A machine configuration carries one; the
+// zero default is the HMC backend (see machine.Config.Mem).
+type Config interface {
+	// Kind is the backend's short name and counter namespace prefix
+	// ("hmc", "ddr").
+	Kind() string
+	// Validate reports a descriptive error for out-of-range geometry
+	// instead of panicking mid-construction.
+	Validate() error
+	// New builds the backend, registering its counters on stats.
+	New(stats *sim.Stats) Backend
+}
+
+// CounterNames declares where a backend keeps its per-request counters.
+// Empty fields mean the backend does not model that quantity (e.g. a
+// PIM-less backend has no Atomics counter); consumers must skip them.
+type CounterNames struct {
+	// Namespace is the prefix every counter of the backend starts with
+	// ("hmc", "ddr").
+	Namespace string
+
+	Reads    string // critical-path line fills
+	Writes   string // posted line writebacks
+	UCReads  string // uncacheable sub-line reads
+	UCWrites string // uncacheable sub-line writes
+	Atomics  string // offloaded near-memory atomics ("" when unsupported)
+
+	// ReqTraffic and RspTraffic are the request/response interconnect
+	// traffic counters in the backend's own unit (FLITs for HMC, bytes
+	// for DDR); "" when the backend does not model the interconnect.
+	ReqTraffic string
+	RspTraffic string
+}
+
+// Canonical backend-neutral counter names, resolvable against any run's
+// stats snapshot through Stat.
+const (
+	StatReads    = "mem.reads"
+	StatWrites   = "mem.writes"
+	StatUCReads  = "mem.uc.reads"
+	StatUCWrites = "mem.uc.writes"
+	StatAtomics  = "mem.atomics"
+	// StatReqFlits/StatRspFlits are HMC link traffic; StatReqBytes/
+	// StatRspBytes are DDR data-bus traffic. The units differ, so the
+	// flit and byte aliases are kept separate rather than summed.
+	StatReqFlits = "mem.req.flits"
+	StatRspFlits = "mem.rsp.flits"
+	StatReqBytes = "mem.req.bytes"
+	StatRspBytes = "mem.rsp.bytes"
+)
+
+// aliasTable maps each canonical name to the concrete counters the
+// backends emit. Backends keep their historical names (goldens and
+// recorded obs runs depend on them); new namespaces extend the slices.
+var aliasTable = map[string][]string{
+	StatReads:    {"hmc.reads", "ddr.reads"},
+	StatWrites:   {"hmc.writes", "ddr.writes"},
+	StatUCReads:  {"hmc.uc.reads", "ddr.uc.reads"},
+	StatUCWrites: {"hmc.uc.writes", "ddr.uc.writes"},
+	StatAtomics:  {"hmc.atomics"},
+	StatReqFlits: {"hmc.flits.req"},
+	StatRspFlits: {"hmc.flits.rsp"},
+	StatReqBytes: {"ddr.bus.wr_bytes"},
+	StatRspBytes: {"ddr.bus.rd_bytes"},
+}
+
+// Aliases returns the concrete counter names a canonical name resolves
+// to (nil for an unknown canonical name).
+func Aliases(canonical string) []string { return aliasTable[canonical] }
+
+// Stat resolves a canonical backend-neutral counter name against a
+// stats snapshot, summing every namespace's alias. Exactly one backend
+// serves any given run, so at most one alias is nonzero and the sum is
+// that backend's value. A name with no alias entry falls back to a
+// direct lookup, so Stat is a superset of plain map access.
+func Stat(stats map[string]uint64, canonical string) uint64 {
+	names, ok := aliasTable[canonical]
+	if !ok {
+		return stats[canonical]
+	}
+	var total uint64
+	for _, n := range names {
+		total += stats[n]
+	}
+	return total
+}

@@ -1,0 +1,80 @@
+package mem
+
+import "testing"
+
+// TestStatSumsAliases verifies the canonical-name resolution: each
+// namespace's concrete counter is picked up, unknown canonical names
+// fall back to direct lookup, and a snapshot from a single-backend run
+// resolves to exactly that backend's value.
+func TestStatSumsAliases(t *testing.T) {
+	hmcRun := map[string]uint64{
+		"hmc.reads":     100,
+		"hmc.writes":    40,
+		"hmc.uc.reads":  7,
+		"hmc.uc.writes": 3,
+		"hmc.atomics":   55,
+		"hmc.flits.req": 900,
+		"hmc.flits.rsp": 400,
+	}
+	cases := []struct {
+		canonical string
+		want      uint64
+	}{
+		{StatReads, 100},
+		{StatWrites, 40},
+		{StatUCReads, 7},
+		{StatUCWrites, 3},
+		{StatAtomics, 55},
+		{StatReqFlits, 900},
+		{StatRspFlits, 400},
+		{StatReqBytes, 0},
+		{StatRspBytes, 0},
+		{"hmc.reads", 100}, // non-canonical: direct lookup
+		{"no.such.counter", 0},
+	}
+	for _, c := range cases {
+		if got := Stat(hmcRun, c.canonical); got != c.want {
+			t.Errorf("Stat(hmcRun, %q) = %d, want %d", c.canonical, got, c.want)
+		}
+	}
+
+	ddrRun := map[string]uint64{
+		"ddr.reads":        20,
+		"ddr.writes":       10,
+		"ddr.bus.rd_bytes": 1280,
+		"ddr.bus.wr_bytes": 640,
+	}
+	if got := Stat(ddrRun, StatReads); got != 20 {
+		t.Errorf("Stat(ddrRun, StatReads) = %d, want 20", got)
+	}
+	if got := Stat(ddrRun, StatAtomics); got != 0 {
+		t.Errorf("Stat(ddrRun, StatAtomics) = %d, want 0 (no PIM units)", got)
+	}
+	if got := Stat(ddrRun, StatRspBytes); got != 1280 {
+		t.Errorf("Stat(ddrRun, StatRspBytes) = %d, want 1280", got)
+	}
+}
+
+// TestAliasesCoverNamespaces pins that every canonical per-request name
+// resolves into both backend namespaces (traffic counters are
+// unit-specific and deliberately single-namespace).
+func TestAliasesCoverNamespaces(t *testing.T) {
+	for _, canonical := range []string{StatReads, StatWrites, StatUCReads, StatUCWrites} {
+		names := Aliases(canonical)
+		var hmc, ddr bool
+		for _, n := range names {
+			switch {
+			case len(n) > 4 && n[:4] == "hmc.":
+				hmc = true
+			case len(n) > 4 && n[:4] == "ddr.":
+				ddr = true
+			}
+		}
+		if !hmc || !ddr {
+			t.Errorf("canonical %s aliases %v miss a namespace (hmc=%v ddr=%v)", canonical, names, hmc, ddr)
+		}
+	}
+	if Aliases("not.a.canonical.name") != nil {
+		t.Error("unknown canonical name returned aliases")
+	}
+}

@@ -93,15 +93,35 @@ func UPEI(extended bool) Config {
 	}
 }
 
+// Caps is the memory backend's atomic-offload capability, consulted
+// during routing. It is declared here (rather than importing the mem
+// package) so the POU depends only on the negotiation, not on any
+// backend; mem.Backend satisfies it structurally.
+type Caps interface {
+	CanOffload(op hmcatomic.Op) bool
+}
+
 // Unit is one core's PIM offloading unit.
 type Unit struct {
 	cfg   Config
 	space *memmap.AddressSpace
+	caps  Caps
 }
 
-// New returns a POU routing against the given address space.
+// New returns a POU routing against the given address space, assuming a
+// backend that can execute every PIM command (tests and standalone
+// use). Machines assemble with NewWithCaps so routing respects the
+// actual substrate.
 func New(cfg Config, space *memmap.AddressSpace) *Unit {
 	return &Unit{cfg: cfg, space: space}
+}
+
+// NewWithCaps returns a POU that negotiates offload capability with the
+// memory backend: an atomic whose PIM command the backend cannot
+// execute falls back to the host-atomic path. A nil caps means
+// all-capable.
+func NewWithCaps(cfg Config, space *memmap.AddressSpace, caps Caps) *Unit {
+	return &Unit{cfg: cfg, space: space, caps: caps}
 }
 
 // Config returns the unit's configuration.
@@ -143,6 +163,12 @@ func (u *Unit) Route(in trace.Instr) Decision {
 			// for applicable workloads); fall back to the host path,
 			// which models the bus-lock degradation the paper warns
 			// about via the UC access cost in the machine layer.
+			return Decision{Path: PathHostAtomic, Candidate: cand}
+		}
+		if u.caps != nil && !u.caps.CanOffload(op) {
+			// The command maps, but the substrate cannot execute it
+			// near memory (no PIM units at all, or no FP unit for the
+			// extension commands): execute host-side.
 			return Decision{Path: PathHostAtomic, Candidate: cand}
 		}
 		return Decision{Path: PathPIM, Op: op, Candidate: cand}

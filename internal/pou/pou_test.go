@@ -85,6 +85,36 @@ func TestFPAtomicNeedsExtension(t *testing.T) {
 	}
 }
 
+// fpLessCaps models a backend whose near-memory units cannot execute
+// the FP extension (an HMC cube with FPFUsPerVault = 0).
+type fpLessCaps struct{}
+
+func (fpLessCaps) CanOffload(op hmcatomic.Op) bool { return !hmcatomic.IsFloat(op) }
+
+// TestCapsVetoPerCommand pins the per-command half of capability
+// negotiation: an op the backend cannot execute near memory routes to
+// the host-atomic path (still marked candidate for Fig. 10 accounting),
+// while accepted ops offload unchanged.
+func TestCapsVetoPerCommand(t *testing.T) {
+	f := newFixture()
+	u := NewWithCaps(GraphPIM(true), f.space, fpLessCaps{})
+	d := u.Route(atomic(f.pmrAddr, trace.AtomicFPAdd, memmap.RegionProperty))
+	if d.Path != PathHostAtomic {
+		t.Errorf("vetoed FP atomic routed to %v, want host", d.Path)
+	}
+	if !d.Candidate {
+		t.Error("vetoed atomic lost its candidate mark")
+	}
+	if d = u.Route(atomic(f.pmrAddr, trace.AtomicAdd, memmap.RegionProperty)); d.Path != PathPIM {
+		t.Errorf("accepted integer atomic routed to %v, want PIM", d.Path)
+	}
+	// nil caps (plain New) means an all-capable backend.
+	all := New(GraphPIM(true), f.space)
+	if d = all.Route(atomic(f.pmrAddr, trace.AtomicFPAdd, memmap.RegionProperty)); d.Path != PathPIM {
+		t.Errorf("nil-caps FP atomic routed to %v, want PIM", d.Path)
+	}
+}
+
 func TestInactivePMRBehavesAsCacheable(t *testing.T) {
 	f := newFixture()
 	cfg := GraphPIM(false)
