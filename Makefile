@@ -38,8 +38,8 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz '^FuzzTimeq$$' -fuzztime $(FUZZTIME) ./internal/cpu/
 
 # bench-json records the simulator throughput benchmarks (best of 3
-# reps) into the committed trajectory file BENCH_pr3.json under the
+# reps) into the committed trajectory file BENCH_pr6.json under the
 # "after" phase, preserving the recorded "before" baseline. Run it after
 # a performance-relevant change and commit the updated file.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_pr3.json -phase after
+	$(GO) run ./cmd/benchjson -out BENCH_pr6.json -phase after

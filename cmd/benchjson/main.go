@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -38,12 +39,17 @@ type Phase struct {
 	Benchmarks []Bench `json:"benchmarks"`
 }
 
-// File is the trajectory file layout.
+// File is the trajectory file layout. NumCPU and Gomaxprocs carry the
+// machine provenance of the recording host: a committed BENCH_*.json
+// showing (or failing to show) multi-core speedup is only interpretable
+// alongside how many CPUs the recording machine actually had.
 type File struct {
-	Goos   string           `json:"goos,omitempty"`
-	Goarch string           `json:"goarch,omitempty"`
-	CPU    string           `json:"cpu,omitempty"`
-	Phases map[string]Phase `json:"phases"`
+	Goos       string           `json:"goos,omitempty"`
+	Goarch     string           `json:"goarch,omitempty"`
+	CPU        string           `json:"cpu,omitempty"`
+	NumCPU     int              `json:"num_cpu,omitempty"`
+	Gomaxprocs int              `json:"gomaxprocs,omitempty"`
+	Phases     map[string]Phase `json:"phases"`
 }
 
 func main() {
@@ -64,15 +70,11 @@ func main() {
 	}
 
 	f := load(*out)
-	goos, goarch, cpu, benches := parse(string(raw))
-	if len(benches) == 0 {
-		fmt.Fprintf(os.Stderr, "benchjson: no benchmark results in output:\n%s", raw)
+	benches, err := record(&f, *phase, *bench, string(raw))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
-	if goos != "" {
-		f.Goos, f.Goarch, f.CPU = goos, goarch, cpu
-	}
-	f.Phases[*phase] = Phase{Benchmarks: benches}
 
 	enc, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
@@ -105,6 +107,26 @@ func load(path string) File {
 		f.Phases = map[string]Phase{}
 	}
 	return f
+}
+
+// record parses go-test benchmark output and merges it into f under the
+// given phase. A regex that matched no benchmark is an error, not an
+// empty phase: `go test -bench NoSuchBenchmark` exits 0 with no result
+// lines, and silently committing an empty phase would let a typo pass
+// for a measurement.
+func record(f *File, phase, benchRegex, raw string) ([]Bench, error) {
+	goos, goarch, cpu, benches := parse(raw)
+	if len(benches) == 0 {
+		return nil, fmt.Errorf("-bench regex %q matched no benchmarks; go test output was:\n%s",
+			benchRegex, raw)
+	}
+	if goos != "" {
+		f.Goos, f.Goarch, f.CPU = goos, goarch, cpu
+	}
+	f.NumCPU = runtime.NumCPU()
+	f.Gomaxprocs = runtime.GOMAXPROCS(0)
+	f.Phases[phase] = Phase{Benchmarks: benches}
+	return benches, nil
 }
 
 // parse extracts the host header and the best repetition per benchmark

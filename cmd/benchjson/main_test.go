@@ -1,0 +1,58 @@
+package main
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: graphpim
+cpu: Imaginary CPU @ 3.00GHz
+BenchmarkMachineRun/Baseline-8        16  68010964 ns/op  4352245 instrs/s  16611742 B/op  135078 allocs/op
+BenchmarkMachineRun/Baseline-8        16  65010000 ns/op  4552245 instrs/s  16611742 B/op  135078 allocs/op
+BenchmarkSimulatorThroughput-8         9  86010665 ns/op  6166567 instrs/s  19719240 B/op    3972 allocs/op
+PASS
+ok  	graphpim	10.00s
+`
+
+func TestRecord(t *testing.T) {
+	f := File{Phases: map[string]Phase{}}
+	benches, err := record(&f, "after", "BenchmarkMachineRun", sampleOutput)
+	if err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	if len(benches) != 2 {
+		t.Fatalf("recorded %d benchmarks, want 2", len(benches))
+	}
+	// Best-of-reps: the faster second repetition wins, with Reps = 2.
+	b := benches[0]
+	if b.Name != "BenchmarkMachineRun/Baseline" || b.Reps != 2 || b.NsOp != 65010000 {
+		t.Fatalf("best rep wrong: %+v", b)
+	}
+	if f.Goos != "linux" || f.CPU != "Imaginary CPU @ 3.00GHz" {
+		t.Fatalf("host header not captured: %+v", f)
+	}
+	if f.NumCPU != runtime.NumCPU() || f.Gomaxprocs != runtime.GOMAXPROCS(0) {
+		t.Fatalf("machine provenance not recorded: NumCPU=%d Gomaxprocs=%d", f.NumCPU, f.Gomaxprocs)
+	}
+	if len(f.Phases["after"].Benchmarks) != 2 {
+		t.Fatalf("phase not written: %+v", f.Phases)
+	}
+}
+
+// TestRecordEmptyMatchFails: a -bench regex matching nothing must be a
+// hard error naming the regex, never a silently-committed empty phase.
+func TestRecordEmptyMatchFails(t *testing.T) {
+	f := File{Phases: map[string]Phase{}}
+	out := "goos: linux\ngoarch: amd64\nPASS\nok  \tgraphpim\t0.01s\n"
+	if _, err := record(&f, "after", "BenchmarkTypo", out); err == nil {
+		t.Fatal("empty benchmark set did not error")
+	} else if !strings.Contains(err.Error(), "BenchmarkTypo") {
+		t.Fatalf("error does not name the regex: %v", err)
+	}
+	if len(f.Phases) != 0 {
+		t.Fatalf("empty phase was committed: %+v", f.Phases)
+	}
+}

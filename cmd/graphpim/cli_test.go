@@ -195,3 +195,57 @@ func TestRunOutReplayRoundTrip(t *testing.T) {
 		t.Fatalf("replay of unrecorded experiment: exit code %d, want 2", badCode)
 	}
 }
+
+// TestRunJSONDeterministicAcrossShards is the satellite acceptance
+// test for the epoch-sharded scheduler at the CLI boundary: `run
+// -format json` output must be byte-identical at -shards 1, 2, and 8
+// (and at the auto setting, -shards 0).
+func TestRunJSONDeterministicAcrossShards(t *testing.T) {
+	render := func(shards string) string {
+		out, stderr, code := runCLI("run", "-quick", "-q", "-format", "json",
+			"-shards", shards, "ext-dependent-block", "table1-hmc-atomics")
+		if code != 0 {
+			t.Fatalf("-shards %s failed (%d): %s", shards, code, stderr)
+		}
+		return out
+	}
+	ref := render("1")
+	for _, s := range []string{"2", "8", "0"} {
+		if got := render(s); got != ref {
+			t.Fatalf("-format json differs between -shards 1 and -shards %s:\n--- 1 ---\n%s\n--- %s ---\n%s",
+				s, ref, s, got)
+		}
+	}
+}
+
+func TestRunRejectsNegativeShards(t *testing.T) {
+	_, stderr, code := runCLI("run", "-shards", "-2", "all")
+	if code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "-shards must be non-negative") {
+		t.Fatalf("unhelpful message %q", stderr)
+	}
+	_, stderr, code = runCLI("workload", "-shards", "-2", "bfs")
+	if code != 2 {
+		t.Fatalf("workload: exit code %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "-shards must be non-negative") {
+		t.Fatalf("workload: unhelpful message %q", stderr)
+	}
+}
+
+// TestWorkloadShardsIdentity: the workload subcommand's human-readable
+// report is also invariant under sharding.
+func TestWorkloadShardsIdentity(t *testing.T) {
+	render := func(shards string) string {
+		out, stderr, code := runCLI("workload", "-quick", "-shards", shards, "BFS")
+		if code != 0 {
+			t.Fatalf("-shards %s failed (%d): %s", shards, code, stderr)
+		}
+		return out
+	}
+	if s1, s8 := render("1"), render("8"); s1 != s8 {
+		t.Fatalf("workload output differs between -shards 1 and 8:\n--- 1 ---\n%s\n--- 8 ---\n%s", s1, s8)
+	}
+}

@@ -103,6 +103,8 @@ run/workload flags:
   -vertices N      LDBC graph size (default 16384)
   -seed S          generator seed (default 7)
   -j N             parallel workers for simulation cells (default: all CPUs)
+  -shards N        scheduler shards inside each simulation: 1 serial,
+                   0 auto (all CPUs); results are byte-identical at any N
   -format F        output format: text|json|csv (default text)
   -out DIR         write per-experiment JSONL records + manifest.json
   -check           enable simulation sanitizer audits (slower, byte-identical output)
@@ -153,6 +155,15 @@ func validFormat(f string) bool {
 	return f == "text" || f == "json" || f == "csv"
 }
 
+// resolveShards maps the -shards flag to a machine shard count: 0 asks
+// for one shard per host CPU (machine.New clamps to the core count).
+func resolveShards(n int) int {
+	if n == 0 {
+		return runtime.NumCPU()
+	}
+	return n
+}
+
 // flagValues snapshots every flag of fs (set or default) for the run
 // manifest.
 func flagValues(fs *flag.FlagSet) map[string]string {
@@ -196,11 +207,16 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 	cpuprofile := fs.String("cpuprofile", "", "write CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write heap profile to this file")
 	workers := fs.Int("j", runtime.NumCPU(), "parallel workers for simulation cells")
+	shards := fs.Int("shards", 1, "scheduler shards per simulation (1 serial, 0 auto)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *workers < 1 {
 		fmt.Fprintf(stderr, "run: -j must be at least 1 (got %d); use -j 1 for a serial run\n", *workers)
+		return 2
+	}
+	if *shards < 0 {
+		fmt.Fprintf(stderr, "run: -shards must be non-negative (got %d); use 0 for one shard per CPU\n", *shards)
 		return 2
 	}
 	if *csv {
@@ -223,6 +239,7 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 	env := makeEnv(*quick, *vertices, *seed)
 	env.Parallelism = *workers
 	env.Check = *checkOn
+	env.Shards = resolveShards(*shards)
 	if !*quiet {
 		env.Reporter = obs.NewTextReporter(stderr)
 	}
@@ -416,11 +433,16 @@ func cmdWorkload(args []string, stdout, stderr io.Writer) int {
 	config := fs.String("config", "graphpim", "baseline|upei|graphpim")
 	mem := fs.String("mem", "hmc", "memory backend: hmc|ddr")
 	checkOn := fs.Bool("check", false, "enable simulation sanitizer audits (slower, identical output)")
+	shards := fs.Int("shards", 1, "scheduler shards per simulation (1 serial, 0 auto)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() != 1 {
 		fmt.Fprintln(stderr, "workload: need exactly one workload name")
+		return 2
+	}
+	if *shards < 0 {
+		fmt.Fprintf(stderr, "workload: -shards must be non-negative (got %d); use 0 for one shard per CPU\n", *shards)
 		return 2
 	}
 	if *quick {
@@ -434,6 +456,7 @@ func cmdWorkload(args []string, stdout, stderr io.Writer) int {
 	opts := graphpim.DefaultOptions()
 	opts.Check = *checkOn
 	opts.Memory = *mem
+	opts.Shards = resolveShards(*shards)
 	if err := opts.Validate(); err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2

@@ -158,6 +158,11 @@ type Options struct {
 	// gracefully to the conventional datapath (nothing can offload), so
 	// ConfigGraphPIM behaves exactly like ConfigBaseline.
 	Memory string
+	// Shards is the epoch-sharded scheduler's shard count: 0 or 1 runs
+	// the serial scheduler, higher values advance core-local simulation
+	// work on that many goroutines (clamped to the core count). Results
+	// are byte-identical at any value; see DESIGN.md §12.
+	Shards int
 }
 
 // Validate reports an out-of-range option. NewRun panics on invalid
@@ -171,6 +176,9 @@ func (o Options) Validate() error {
 	case "", "hmc", "ddr":
 	default:
 		return fmt.Errorf("graphpim: unknown memory backend %q (valid: hmc, ddr)", o.Memory)
+	}
+	if o.Shards < 0 {
+		return fmt.Errorf("graphpim: shard count %d must be non-negative", o.Shards)
 	}
 	return nil
 }
@@ -222,6 +230,7 @@ func (r *Run) machineConfig(cfg Config, w Workload) machine.Config {
 	if r.opts.Memory == "ddr" {
 		mc.Mem = ddr.DefaultConfig()
 	}
+	mc.Shards = r.opts.Shards
 	return mc
 }
 

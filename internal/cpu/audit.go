@@ -55,8 +55,11 @@ func (c *Core) expectedRetired() uint64 {
 // Audit validates the core's redundant state at time now. The
 // internal/check sanitizer registers it per core.
 func (c *Core) Audit(now uint64) error {
-	if len(c.rob) > c.cfg.ROBSize {
-		return fmt.Errorf("rob occupancy %d exceeds capacity %d", len(c.rob), c.cfg.ROBSize)
+	if c.robN < 0 || c.robN > c.cfg.ROBSize {
+		return fmt.Errorf("rob occupancy %d outside [0, %d]", c.robN, c.cfg.ROBSize)
+	}
+	if c.robH < 0 || c.robH >= len(c.rob) {
+		return fmt.Errorf("rob head %d outside ring of %d", c.robH, len(c.rob))
 	}
 	for _, q := range []struct {
 		name string

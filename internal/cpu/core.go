@@ -18,6 +18,7 @@ package cpu
 import (
 	"fmt"
 
+	"graphpim/internal/arena"
 	"graphpim/internal/sim"
 	"graphpim/internal/trace"
 )
@@ -153,11 +154,6 @@ func (s StallReason) String() string {
 	return fmt.Sprintf("stall(%d)", uint8(s))
 }
 
-// robEntry is one in-flight instruction.
-type robEntry struct {
-	doneAt uint64
-}
-
 // coreCounters holds pre-resolved stat handles for the per-cycle paths.
 // Resolving once at construction keeps Tick free of map lookups and
 // string hashing (see sim.Stats.Counter).
@@ -210,10 +206,18 @@ type Core struct {
 	computeLeft int  // remaining units of the current compute batch
 	computeDep  bool // first unit of the batch depends on lastMemDone
 
-	rob   []robEntry // FIFO
-	wb    timeq      // store completion times
-	mshr  timeq      // outstanding off-chip load completion times
-	atomq timeq      // outstanding offloaded atomic completion times
+	// rob is a fixed-capacity FIFO ring of completion times (the only
+	// per-entry state the model needs). The previous representation — a
+	// slice popped with rob[1:] and refilled with append — reallocated
+	// its backing array every ROBSize retirements, which dominated the
+	// simulator's per-run allocations on rob-churning workloads; the
+	// ring allocates once at construction and never again.
+	rob   []uint64 // ring buffer, len == ROBSize
+	robH  int      // head index (oldest entry)
+	robN  int      // occupancy
+	wb    timeq    // store completion times
+	mshr  timeq    // outstanding off-chip load completion times
+	atomq timeq    // outstanding offloaded atomic completion times
 
 	lastMemDone  uint64 // completion time of the newest load or atomic
 	lastLoadDone uint64 // completion time of the newest load (value chain)
@@ -240,18 +244,47 @@ func NewCore(id int, cfg Config, mem MemorySystem, stream []trace.Instr, stats *
 	if cfg.ALUWidth <= 0 {
 		cfg.ALUWidth = cfg.IssueWidth
 	}
+	// All four fixed-capacity queues share one backing slab: the ROB
+	// ring and the three timeq buffers hold plain uint64 completion
+	// times, so a core costs one queue allocation instead of four.
+	slab := arena.NewSlab[uint64](cfg.ROBSize + cfg.WriteBufferSize + cfg.MSHRs + cfg.AtomicQueue)
 	return &Core{
 		id:     id,
 		cfg:    cfg,
 		mem:    mem,
 		ctr:    resolveCoreCounters(stats),
 		stream: stream,
-		rob:    make([]robEntry, 0, cfg.ROBSize),
-		wb:     newTimeq(cfg.WriteBufferSize),
-		mshr:   newTimeq(cfg.MSHRs),
-		atomq:  newTimeq(cfg.AtomicQueue),
+		rob:    slab.Take(cfg.ROBSize),
+		wb:     newTimeqOn(slab, cfg.WriteBufferSize),
+		mshr:   newTimeqOn(slab, cfg.MSHRs),
+		atomq:  newTimeqOn(slab, cfg.AtomicQueue),
 	}
 }
+
+// robPush appends a completion time to the ROB ring. The dispatch loop
+// checks occupancy against ROBSize before every push, so overflow is
+// impossible by construction (and audited, see Audit).
+func (c *Core) robPush(doneAt uint64) {
+	i := c.robH + c.robN
+	if i >= len(c.rob) {
+		i -= len(c.rob)
+	}
+	c.rob[i] = doneAt
+	c.robN++
+}
+
+// robPop removes the oldest ROB entry; the caller has checked robN > 0.
+func (c *Core) robPop() {
+	c.robH++
+	if c.robH == len(c.rob) {
+		c.robH = 0
+	}
+	c.robN--
+}
+
+// robHead returns the oldest entry's completion time; the caller has
+// checked robN > 0.
+func (c *Core) robHead() uint64 { return c.rob[c.robH] }
 
 // Retired returns the number of retired instructions.
 func (c *Core) Retired() uint64 { return c.retired }
@@ -273,7 +306,7 @@ func (c *Core) ReleaseBarrier(now uint64) {
 // Done reports whether the core has retired everything.
 func (c *Core) Done() bool {
 	return c.pc >= len(c.stream) && c.computeLeft == 0 &&
-		len(c.rob) == 0 && c.wb.empty() && !c.waitingBarrier
+		c.robN == 0 && c.wb.empty() && !c.waitingBarrier
 }
 
 // exhausted reports whether the instruction stream is fully dispatched:
@@ -292,8 +325,8 @@ func maxu(a, b uint64) uint64 {
 // retire pops completed ROB entries in order, up to IssueWidth.
 func (c *Core) retire(now uint64) {
 	n := 0
-	for len(c.rob) > 0 && n < c.cfg.IssueWidth && c.rob[0].doneAt <= now {
-		c.rob = c.rob[1:]
+	for c.robN > 0 && n < c.cfg.IssueWidth && c.robHead() <= now {
+		c.robPop()
 		c.retired++
 		n++
 	}
@@ -310,8 +343,8 @@ func (c *Core) retire(now uint64) {
 // quantity — and the two schedulers tick at different rates.
 func (c *Core) DrainCompleted(now uint64) {
 	n := 0
-	for len(c.rob) > 0 && c.rob[0].doneAt <= now {
-		c.rob = c.rob[1:]
+	for c.robN > 0 && c.robHead() <= now {
+		c.robPop()
 		c.retired++
 		n++
 	}
@@ -330,10 +363,10 @@ func (c *Core) DrainCompleted(now uint64) {
 // empties its ROB (observable through barrier parking and Done) would
 // depend on how many foreign events happened to tick it.
 func (c *Core) retireNext(now uint64) uint64 {
-	if len(c.rob) == 0 {
+	if c.robN == 0 {
 		return ^uint64(0)
 	}
-	if t := c.rob[0].doneAt; t > now {
+	if t := c.robHead(); t > now {
 		return t
 	}
 	return now + 1
@@ -414,8 +447,12 @@ func (c *Core) Tick(now, elapsed uint64) (next uint64) {
 		// retire inside the fast-forwarded stretch at IssueWidth per
 		// cycle alongside the new computes.
 		robDone := true
-		for _, e := range c.rob {
-			if e.doneAt > now {
+		for i := 0; i < c.robN; i++ {
+			j := c.robH + i
+			if j >= len(c.rob) {
+				j -= len(c.rob)
+			}
+			if c.rob[j] > now {
 				robDone = false
 				break
 			}
@@ -427,8 +464,8 @@ func (c *Core) Tick(now, elapsed uint64) (next uint64) {
 			if cycles > 1 {
 				n = int(cycles) * c.cfg.ALUWidth
 				c.computeLeft -= n
-				drained := len(c.rob)
-				c.rob = c.rob[:0]
+				drained := c.robN
+				c.robH, c.robN = 0, 0
 				c.retired += uint64(n + drained)
 				c.ctr.retired.Add(uint64(n + drained))
 				c.ctr.dispatched.Add(uint64(n))
@@ -453,9 +490,9 @@ dispatch:
 			}
 			break
 		}
-		if len(c.rob) >= c.cfg.ROBSize {
+		if c.robN >= c.cfg.ROBSize {
 			reason = StallROBFull
-			next = c.rob[0].doneAt
+			next = c.robHead()
 			break
 		}
 		switch in.Kind {
@@ -478,7 +515,7 @@ dispatch:
 			}
 			c.computeLeft--
 			aluUsed++
-			c.rob = append(c.rob, robEntry{doneAt: done})
+			c.robPush(done)
 			dispatched++
 
 		case trace.KindLoad:
@@ -497,7 +534,7 @@ dispatch:
 			if res.CompleteAt > c.lastLoadDone {
 				c.lastLoadDone = res.CompleteAt
 			}
-			c.rob = append(c.rob, robEntry{doneAt: res.CompleteAt})
+			c.robPush(res.CompleteAt)
 			c.pc++
 			dispatched++
 
@@ -510,7 +547,7 @@ dispatch:
 			res := c.mem.Store(c.id, in, c.issueTime(in, now))
 			c.wb.add(res.CompleteAt)
 			// The store retires once buffered.
-			c.rob = append(c.rob, robEntry{doneAt: now + 1})
+			c.robPush(now + 1)
 			c.pc++
 			dispatched++
 
@@ -548,7 +585,7 @@ dispatch:
 				c.frozenUntil = fz
 				c.lastMemDone = res.CompleteAt
 				c.lastLoadDone = res.CompleteAt
-				c.rob = append(c.rob, robEntry{doneAt: res.CompleteAt})
+				c.robPush(res.CompleteAt)
 				c.pc++
 				dispatched++
 				reason = StallFrozen
@@ -586,13 +623,13 @@ dispatch:
 			if res.ChainPenalty > 0 {
 				c.lastLoadDone = maxu(c.lastLoadDone, now) + res.ChainPenalty
 			}
-			c.rob = append(c.rob, robEntry{doneAt: doneAt})
+			c.robPush(doneAt)
 			c.pc++
 			dispatched++
 
 		case trace.KindBarrier:
 			// A barrier drains the core before parking it.
-			if len(c.rob) > 0 || !c.wb.empty() {
+			if c.robN > 0 || !c.wb.empty() {
 				reason = StallDrainOut
 				next = c.drainNext(now)
 				break dispatch
@@ -620,8 +657,8 @@ dispatch:
 // drainNext returns the earliest future time any in-flight work completes.
 func (c *Core) drainNext(now uint64) uint64 {
 	next := ^uint64(0)
-	if len(c.rob) > 0 && c.rob[0].doneAt < next {
-		next = c.rob[0].doneAt
+	if c.robN > 0 && c.robHead() < next {
+		next = c.robHead()
 	}
 	if t := c.wb.minT(); t < next {
 		next = t

@@ -1,0 +1,84 @@
+package cpu
+
+import "graphpim/internal/trace"
+
+// Shared-state classification for the epoch-sharded scheduler (see
+// internal/machine and DESIGN.md §12). A core's Tick touches state
+// outside the core itself only by dispatching through the MemorySystem
+// interface (loads, stores, atomics — which reach the caches, the POU,
+// and the memory backend) or by parking at a barrier (which changes the
+// scheduler's parked count). Every other tick — retirement, queue
+// expiry, compute dispatch, frozen or fast-forwarded stretches, drain —
+// reads and writes the Core struct alone.
+//
+// LocalHorizon bounds, conservatively, the first future tick that could
+// leave the core-local world. The sharded scheduler advances cores in
+// parallel strictly below the minimum horizon across all scheduled
+// cores, so shared state is only ever touched by the coordinating
+// goroutine in exact (time, core-id) order — which is why sharded runs
+// are byte-identical to serial ones.
+
+// NoHorizon is returned when no future tick of the core can touch
+// shared state (the stream is exhausted and only in-flight work
+// drains, or the core is done or parked and will not tick on its own).
+const NoHorizon = ^uint64(0)
+
+// LocalHorizon returns the earliest cycle >= wakeT at which a Tick of
+// this core could dispatch a memory operation or park at a barrier,
+// assuming its next scheduled tick is at wakeT. Ticks strictly before
+// the returned cycle provably touch only core-local state.
+//
+// The bound must be sound (never later than a real shared interaction)
+// but may be loose in the other direction: under-estimating it only
+// shrinks the parallel epoch, never changes results.
+func (c *Core) LocalHorizon(wakeT uint64) uint64 {
+	if c.Done() || c.waitingBarrier {
+		return NoHorizon
+	}
+	if c.exhausted() {
+		// Dispatch is over; remaining ticks only retire and drain.
+		return NoHorizon
+	}
+	// Dispatch cannot resume before a standing fast-forward or freeze
+	// expires (Tick returns early in both states without touching the
+	// stream).
+	bound := wakeT
+	if c.ffUntil > bound {
+		bound = c.ffUntil
+	}
+	if c.frozenUntil > bound {
+		bound = c.frozenUntil
+	}
+	// What can dispatch at the bound? The front of the stream. Anything
+	// but a compute batch may reach the MemorySystem (or a barrier) in
+	// that very tick.
+	k := c.computeLeft
+	if k == 0 {
+		if c.stream[c.pc].Kind != trace.KindCompute {
+			return bound
+		}
+		k = int(c.stream[c.pc].N)
+	}
+	// A compute batch of k units stands between the core and the next
+	// potentially-shared instruction. Per tick the dispatch loop issues
+	// at most aluW compute units, and the following instruction can
+	// dispatch in the same tick only if the batch finished with an issue
+	// slot to spare — i.e. the tick started with at most memSlack units
+	// left. The earliest such tick, at the maximum drain rate of aluW
+	// per cycle over consecutive cycles, is the horizon. The compute
+	// fast-forward path respects the same arithmetic (it leaves a
+	// sub-aluW tail and wakes at exactly this cycle), so the bound holds
+	// whether or not Tick takes it.
+	aluW := c.cfg.ALUWidth
+	if aluW > c.cfg.IssueWidth {
+		aluW = c.cfg.IssueWidth
+	}
+	memSlack := aluW
+	if memSlack > c.cfg.IssueWidth-1 {
+		memSlack = c.cfg.IssueWidth - 1
+	}
+	if k <= memSlack {
+		return bound
+	}
+	return bound + uint64((k-memSlack+aluW-1)/aluW)
+}

@@ -1,0 +1,122 @@
+package cpu
+
+import (
+	"testing"
+
+	"graphpim/internal/sim"
+	"graphpim/internal/trace"
+)
+
+// shMem counts every dispatch that crosses the MemorySystem boundary,
+// so tests can pin the exact tick a core first left core-local state.
+type shMem struct {
+	mockMem
+	ops int
+}
+
+func (m *shMem) Load(id int, in trace.Instr, now uint64) MemResult {
+	m.ops++
+	return m.mockMem.Load(id, in, now)
+}
+
+func (m *shMem) Store(id int, in trace.Instr, now uint64) MemResult {
+	m.ops++
+	return m.mockMem.Store(id, in, now)
+}
+
+func (m *shMem) Atomic(id int, in trace.Instr, now uint64) AtomicResult {
+	m.ops++
+	return m.mockMem.Atomic(id, in, now)
+}
+
+// TestLocalHorizonExact pins the closed-form cases of the bound against
+// DefaultConfig (IssueWidth 4, ALUWidth 2, so memSlack = 2).
+func TestLocalHorizonExact(t *testing.T) {
+	load := trace.Instr{Kind: trace.KindLoad, Size: 8}
+	mk := func(stream []trace.Instr) *Core {
+		return NewCore(0, DefaultConfig(), &shMem{mockMem: mockMem{loadLat: 4, storeLat: 4, atomicLat: 8}},
+			stream, sim.NewStats())
+	}
+
+	// A memory instruction at the stream front can dispatch at the wake
+	// tick itself.
+	if h := mk([]trace.Instr{load}).LocalHorizon(7); h != 7 {
+		t.Fatalf("load at front: horizon %d, want 7", h)
+	}
+	// A compute batch small enough to leave an issue slot (k <= memSlack)
+	// lets the following load dispatch in the same tick.
+	if h := mk([]trace.Instr{{Kind: trace.KindCompute, N: 2}, load}).LocalHorizon(7); h != 7 {
+		t.Fatalf("2-unit batch: horizon %d, want 7", h)
+	}
+	// 100 compute units drain at 2/cycle; the load can share a tick once
+	// at most memSlack=2 units remain: 7 + ceil((100-2)/2) = 56.
+	if h := mk([]trace.Instr{{Kind: trace.KindCompute, N: 100}, load}).LocalHorizon(7); h != 56 {
+		t.Fatalf("100-unit batch: horizon %d, want 56", h)
+	}
+	// A trailing compute batch (nothing shared after it) still reports a
+	// finite horizon — looseness in that direction is allowed, soundness
+	// is what matters.
+
+	// A finished core never ticks on its own.
+	c := mk([]trace.Instr{{Kind: trace.KindCompute, N: 1}})
+	run(t, c)
+	if h := c.LocalHorizon(0); h != NoHorizon {
+		t.Fatalf("done core: horizon %d, want NoHorizon", h)
+	}
+}
+
+// TestLocalHorizonSoundness drives randomized cores tick by tick and
+// verifies the contract the sharded scheduler depends on: whenever a
+// tick dispatches through the MemorySystem or parks at a barrier, the
+// horizon computed immediately before that tick equals the tick's time.
+// (The bound can be loose — later shared work may be over-estimated —
+// but it must never place a shared interaction in the past.)
+func TestLocalHorizonSoundness(t *testing.T) {
+	r := sim.NewRand(99)
+	for trial := 0; trial < 50; trial++ {
+		var stream []trace.Instr
+		for i, n := 0, 5+r.Intn(40); i < n; i++ {
+			switch r.Intn(6) {
+			case 0, 1:
+				stream = append(stream, trace.Instr{Kind: trace.KindCompute, N: uint16(1 + r.Intn(150))})
+			case 2:
+				var fl uint8
+				if r.Intn(2) == 0 {
+					fl = trace.FlagDepPrev
+				}
+				stream = append(stream, trace.Instr{Kind: trace.KindLoad, Size: 8, Flags: fl})
+			case 3:
+				stream = append(stream, trace.Instr{Kind: trace.KindStore, Size: 8})
+			case 4:
+				stream = append(stream, trace.Instr{Kind: trace.KindAtomic, Size: 8, Atomic: trace.AtomicAdd})
+			case 5:
+				stream = append(stream, trace.Instr{Kind: trace.KindBarrier})
+			}
+		}
+		mem := &shMem{mockMem: mockMem{loadLat: uint64(2 + r.Intn(30)), storeLat: 3, atomicLat: 12}}
+		c := NewCore(0, DefaultConfig(), mem, stream, sim.NewStats())
+
+		now, prev := uint64(0), uint64(0)
+		for step := 0; step < 200000 && !c.Done(); step++ {
+			h := c.LocalHorizon(now)
+			opsBefore := mem.ops
+			next := c.Tick(now, now-prev)
+			shared := mem.ops != opsBefore || c.WaitingBarrier()
+			if shared && h != now {
+				t.Fatalf("trial %d: shared interaction at %d but horizon predicted %d", trial, now, h)
+			}
+			if c.WaitingBarrier() {
+				c.ReleaseBarrier(now + 1)
+				next = now + 1
+			}
+			prev = now
+			if next <= now {
+				next = now + 1
+			}
+			now = next
+		}
+		if !c.Done() {
+			t.Fatalf("trial %d: core did not finish", trial)
+		}
+	}
+}

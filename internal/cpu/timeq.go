@@ -1,5 +1,7 @@
 package cpu
 
+import "graphpim/internal/arena"
+
 // timeq is a fixed-capacity bag of completion times backing the core's
 // write buffer, MSHR file, and atomic queue. The legacy representation
 // (a plain slice re-filtered through expire() every tick) rebuilt the
@@ -20,6 +22,12 @@ type timeq struct {
 // newTimeq returns a queue holding at most capacity entries.
 func newTimeq(capacity int) timeq {
 	return timeq{buf: make([]uint64, capacity), min: ^uint64(0)}
+}
+
+// newTimeqOn is newTimeq with the buffer carved from a shared slab, so
+// one core's queues cost a single allocation (see NewCore).
+func newTimeqOn(slab *arena.Slab[uint64], capacity int) timeq {
+	return timeq{buf: slab.Take(capacity), min: ^uint64(0)}
 }
 
 // len returns the number of live entries.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime"
 	"time"
 
 	"graphpim/internal/machine"
@@ -279,6 +280,9 @@ func (e *Env) Info() obs.EnvInfo {
 		SweepSizes:   append([]int(nil), e.SweepSizes...),
 		AppVertices:  e.AppVertices,
 		Parallelism:  e.Parallelism,
+		Shards:       e.Shards,
+		NumCPU:       runtime.NumCPU(),
+		Gomaxprocs:   runtime.GOMAXPROCS(0),
 	}
 }
 
@@ -293,5 +297,6 @@ func EnvFromInfo(info obs.EnvInfo) *Env {
 		SweepSizes:   append([]int(nil), info.SweepSizes...),
 		AppVertices:  info.AppVertices,
 		Parallelism:  info.Parallelism,
+		Shards:       info.Shards,
 	}
 }

@@ -72,6 +72,12 @@ type Env struct {
 	// results — and therefore tables — are byte-identical either way;
 	// an invariant violation panics with subsystem/cycle/core context.
 	Check bool
+	// Shards is the epoch-sharded scheduler's shard count for every
+	// machine the experiments assemble: 0 or 1 runs the serial
+	// scheduler, higher values advance core-local work on that many
+	// goroutines. Results are byte-identical at any value (see
+	// DESIGN.md §12), so tables never depend on it.
+	Shards int
 
 	// Reporter receives engine progress events (per-cell completions,
 	// per-phase durations); nil means silent. Implementations must be
@@ -228,6 +234,7 @@ func (e *Env) Config(kind ConfigKind, w workloads.Workload) machine.Config {
 	if e.Check {
 		cfg.Check = check.Periodic
 	}
+	cfg.Shards = e.Shards
 	return e.scaleCaches(cfg)
 }
 

@@ -25,6 +25,9 @@ func (m *Machine) registerAuditors() {
 		m.checks.Register("cpu", i, c.Audit)
 	}
 	m.checks.Register("stats", check.NoCore, func(uint64) error { return m.auditStats() })
+	if m.shardStats != nil {
+		m.checks.Register("shards", check.NoCore, m.auditShards)
+	}
 }
 
 // auditStats cross-checks counter identities that hold by construction

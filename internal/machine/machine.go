@@ -77,6 +77,14 @@ type Config struct {
 	// parallelism than ordinary cacheable misses.
 	UCIssueGap uint64
 
+	// Shards is the number of scheduler shards Run uses to advance
+	// cores in parallel inside one simulation (see DESIGN.md §12).
+	// 0 or 1 selects the serial scheduler; values above NumCores are
+	// clamped to NumCores. Results are byte-identical at every shard
+	// count and every GOMAXPROCS — sharding is purely a wall-clock
+	// optimization.
+	Shards int
+
 	// Check selects the simulation sanitizer level (internal/check).
 	// Off — the default — costs nothing on the hot path; Periodic
 	// audits every subsystem's redundant state at CheckInterval-cycle
@@ -236,6 +244,18 @@ type Machine struct {
 	ucFree []uint64
 	// checks is the sanitizer registry; nil when cfg.Check is Off.
 	checks *check.Registry
+
+	// shardStats holds one counter-replica registry per scheduler shard;
+	// nil when the machine runs serially (Shards <= 1). Core i's
+	// counters resolve against shardStats[shardOf[i]] so parallel local
+	// ticks never share a counter cell; replicas fold into stats at
+	// epoch checkpoints (see sharded.go).
+	shardStats []*sim.Stats
+	// shardOf maps core id to its shard (i % len(shardStats)).
+	shardOf []int
+	// shardDiag records the last parallel epoch's bound and the maximum
+	// wake it processed, for the shard auditor.
+	shardDiag shardDiag
 }
 
 // memConfig resolves the effective backend configuration: Mem when set,
@@ -289,12 +309,28 @@ func New(cfg Config, space *memmap.AddressSpace, tr *trace.Trace) *Machine {
 	}
 	m.cache = cache.New(cfg.Cache, m.mem, st)
 	m.ucFree = make([]uint64, cfg.NumCores)
+	shards := cfg.Shards
+	if shards > cfg.NumCores {
+		shards = cfg.NumCores
+	}
+	if shards > 1 {
+		m.shardStats = make([]*sim.Stats, shards)
+		for s := range m.shardStats {
+			m.shardStats[s] = sim.NewStats()
+		}
+		m.shardOf = make([]int, cfg.NumCores)
+	}
 	for c := 0; c < cfg.NumCores; c++ {
 		var stream []trace.Instr
 		if c < tr.NumThreads() {
 			stream = tr.Threads[c]
 		}
-		m.cores = append(m.cores, cpu.NewCore(c, cfg.CPU, m, stream, st))
+		cst := st
+		if m.shardStats != nil {
+			m.shardOf[c] = c % shards
+			cst = m.shardStats[m.shardOf[c]]
+		}
+		m.cores = append(m.cores, cpu.NewCore(c, cfg.CPU, m, stream, cst))
 	}
 	if cfg.Check != check.Off {
 		m.checks = check.NewRegistry(cfg.Check, cfg.CheckInterval)
@@ -459,6 +495,9 @@ var tickCore = func(c *cpu.Core, now, elapsed uint64) uint64 {
 // counters for cores that went quiescent earlier (see
 // DESIGN.md, "Event-driven scheduler").
 func (m *Machine) Run(maxCycles uint64) Result {
+	if m.shardStats != nil {
+		return m.runSharded(maxCycles)
+	}
 	n := len(m.cores)
 	wake := sim.NewWakeups(n)
 	lastTick := make([]uint64, n)
@@ -474,68 +513,14 @@ func (m *Machine) Run(maxCycles uint64) Result {
 			// No wakeups pending. Either every live core is parked at a
 			// barrier — release them all (one global barrier event) —
 			// or no core can ever make progress again.
-			if parked == 0 || parked+done != n {
-				panic(fmt.Sprintf("machine: deadlock at cycle %d", now))
-			}
-			for i, c := range m.cores {
-				if c.WaitingBarrier() {
-					c.ReleaseBarrier(now)
-					wake.Schedule(i, now+1)
-				}
-			}
-			parked = 0
-			m.ctr.barriers.Inc()
+			m.releaseBarrier(wake, now, done, &parked)
 			continue
 		}
 		if maxCycles > 0 && t > maxCycles {
-			// Truncated run: settle attribution at the last processed
-			// event time, clamp the reported cycle count, and retire
-			// everything complete by the cutoff (scheduler-independent;
-			// see Core.DrainCompleted).
-			m.flushTicks(now, lastTick)
-			now = maxCycles
-			for _, c := range m.cores {
-				c.DrainCompleted(now)
-			}
-			if m.checks != nil {
-				// End-of-run subsystem audits only: the loop's
-				// done/parked counters are intentionally stale after
-				// the truncation drain.
-				if f := m.checks.Final(now); f != nil {
-					panic(f)
-				}
-			}
-			return m.result(now)
+			return m.truncate(maxCycles, now, lastTick)
 		}
 		now = t
-		// Drain every core due at this cycle in id order (heap ties
-		// break on id). A tick only ever schedules its own core at a
-		// future time, so the set due at now is fixed before the drain.
-		for {
-			if tt, ok := wake.Min(); !ok || tt != now {
-				break
-			}
-			id, _ := wake.PopMin()
-			c := m.cores[id]
-			next := tickCore(c, now, now-lastTick[id])
-			lastTick[id] = now
-			switch {
-			case c.Done():
-				done++
-			case c.WaitingBarrier():
-				parked++
-			default:
-				if next != ^uint64(0) {
-					if next <= now {
-						next = now + 1
-					}
-					wake.Schedule(id, next)
-				}
-				// A live, unparked core returning no wake time is left
-				// unscheduled; the empty-heap check above reports the
-				// deadlock, as the scan loop did.
-			}
-		}
+		m.stepAt(now, wake, lastTick, &done, &parked)
 		if m.checks != nil && m.checks.Due(now) {
 			m.checkpoint(now, wake, done, parked, false)
 		}
@@ -544,6 +529,75 @@ func (m *Machine) Run(maxCycles uint64) Result {
 	m.flushTicks(now, lastTick)
 	if m.checks != nil {
 		m.checkpoint(now, wake, done, parked, true)
+	}
+	return m.result(now)
+}
+
+// stepAt drains every core due at cycle now in id order (heap ties
+// break on id). A tick only ever schedules its own core at a future
+// time, so the set due at now is fixed before the drain.
+func (m *Machine) stepAt(now uint64, wake *sim.Wakeups, lastTick []uint64, done, parked *int) {
+	for {
+		if tt, ok := wake.Min(); !ok || tt != now {
+			break
+		}
+		id, _ := wake.PopMin()
+		c := m.cores[id]
+		next := tickCore(c, now, now-lastTick[id])
+		lastTick[id] = now
+		switch {
+		case c.Done():
+			*done++
+		case c.WaitingBarrier():
+			*parked++
+		default:
+			if next != ^uint64(0) {
+				if next <= now {
+					next = now + 1
+				}
+				wake.Schedule(id, next)
+			}
+			// A live, unparked core returning no wake time is left
+			// unscheduled; the empty-heap check reports the deadlock,
+			// as the scan loop did.
+		}
+	}
+}
+
+// releaseBarrier handles an empty wake heap: either every live core is
+// parked at a barrier — release them all (one global barrier event) —
+// or no core can ever make progress again.
+func (m *Machine) releaseBarrier(wake *sim.Wakeups, now uint64, done int, parked *int) {
+	if *parked == 0 || *parked+done != len(m.cores) {
+		panic(fmt.Sprintf("machine: deadlock at cycle %d", now))
+	}
+	for i, c := range m.cores {
+		if c.WaitingBarrier() {
+			c.ReleaseBarrier(now)
+			wake.Schedule(i, now+1)
+		}
+	}
+	*parked = 0
+	m.ctr.barriers.Inc()
+}
+
+// truncate ends a maxCycles-limited run: settle attribution at the last
+// processed event time, clamp the reported cycle count, and retire
+// everything complete by the cutoff (scheduler-independent; see
+// Core.DrainCompleted).
+func (m *Machine) truncate(maxCycles, now uint64, lastTick []uint64) Result {
+	m.flushTicks(now, lastTick)
+	now = maxCycles
+	for _, c := range m.cores {
+		c.DrainCompleted(now)
+	}
+	m.mergeShardStats()
+	if m.checks != nil {
+		// End-of-run subsystem audits only: the loop's done/parked
+		// counters are intentionally stale after the truncation drain.
+		if f := m.checks.Final(now); f != nil {
+			panic(f)
+		}
 	}
 	return m.result(now)
 }
@@ -563,6 +617,7 @@ func (m *Machine) flushTicks(now uint64, lastTick []uint64) {
 }
 
 func (m *Machine) result(now uint64) Result {
+	m.mergeShardStats()
 	var retired uint64
 	for _, c := range m.cores {
 		retired += c.Retired()

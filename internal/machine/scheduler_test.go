@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
 
@@ -64,14 +65,40 @@ func randomTrace(r *sim.Rand) (*memmap.AddressSpace, *trace.Trace) {
 	return sp, b.Build()
 }
 
+// diffResults fails the test when two Results differ anywhere — cycle
+// count, retirement, or any counter of the full snapshot.
+func diffResults(t *testing.T, label string, got, want Result) {
+	t.Helper()
+	if got.Cycles != want.Cycles {
+		t.Fatalf("%s: cycles %d vs %d", label, got.Cycles, want.Cycles)
+	}
+	if got.Instructions != want.Instructions {
+		t.Fatalf("%s: retired %d vs %d", label, got.Instructions, want.Instructions)
+	}
+	if !reflect.DeepEqual(got.Stats, want.Stats) {
+		for k, v := range got.Stats {
+			if want.Stats[k] != v {
+				t.Errorf("%s: counter %q: %d vs %d", label, k, v, want.Stats[k])
+			}
+		}
+		for k, v := range want.Stats {
+			if _, ok := got.Stats[k]; !ok {
+				t.Errorf("%s: counter %q missing (want %d)", label, k, v)
+			}
+		}
+		t.Fatalf("%s: counter snapshots diverge", label)
+	}
+}
+
 // TestSchedulerEquivalence replays randomized traces through the
-// event-driven scheduler (Run) and the reference scan loop (runScan) and
-// requires bit-identical results: same cycle count, same retired count,
-// and an identical counter snapshot — including the cycle-attribution
-// breakdown. Trials alternate machine configurations so the host-atomic
-// freeze path (Baseline), the UC bypass path (GraphPIM), and the
-// locality-check path (U-PEI) are all exercised, and every third trial
-// truncates with maxCycles.
+// event-driven scheduler (Run), the reference scan loop (runScan), and
+// the epoch-sharded parallel scheduler (runSharded, at a rotating shard
+// count) and requires bit-identical results from all three: same cycle
+// count, same retired count, and an identical counter snapshot —
+// including the cycle-attribution breakdown. Trials alternate machine
+// configurations so the host-atomic freeze path (Baseline), the UC
+// bypass path (GraphPIM), and the locality-check path (U-PEI) are all
+// exercised, and every third trial truncates with maxCycles.
 func TestSchedulerEquivalence(t *testing.T) {
 	configs := []func() Config{
 		Baseline,
@@ -79,6 +106,7 @@ func TestSchedulerEquivalence(t *testing.T) {
 		func() Config { return UPEI(false) },
 		func() Config { return GraphPIM(true) },
 	}
+	shardCounts := []int{2, 3, 8}
 	r := sim.NewRand(42)
 	trials := 150
 	if testing.Short() {
@@ -93,28 +121,14 @@ func TestSchedulerEquivalence(t *testing.T) {
 		}
 		event := New(cfg, sp, tr).Run(maxCycles)
 		scan := New(cfg, sp, tr).runScan(maxCycles)
-		if event.Cycles != scan.Cycles {
-			t.Fatalf("trial %d (%s, max=%d): cycles %d (event) vs %d (scan)",
-				trial, cfg.Name, maxCycles, event.Cycles, scan.Cycles)
-		}
-		if event.Instructions != scan.Instructions {
-			t.Fatalf("trial %d (%s, max=%d): retired %d (event) vs %d (scan)",
-				trial, cfg.Name, maxCycles, event.Instructions, scan.Instructions)
-		}
-		if !reflect.DeepEqual(event.Stats, scan.Stats) {
-			for k, v := range event.Stats {
-				if scan.Stats[k] != v {
-					t.Errorf("trial %d (%s, max=%d): counter %q: %d (event) vs %d (scan)",
-						trial, cfg.Name, maxCycles, k, v, scan.Stats[k])
-				}
-			}
-			for k, v := range scan.Stats {
-				if _, ok := event.Stats[k]; !ok {
-					t.Errorf("trial %d: counter %q only in scan (%d)", trial, k, v)
-				}
-			}
-			t.Fatalf("trial %d (%s, max=%d): counter snapshots diverge", trial, cfg.Name, maxCycles)
-		}
+		diffResults(t, fmt.Sprintf("trial %d (%s, max=%d) event vs scan", trial, cfg.Name, maxCycles),
+			event, scan)
+
+		shardCfg := cfg
+		shardCfg.Shards = shardCounts[trial%len(shardCounts)]
+		sharded := New(shardCfg, sp, tr).Run(maxCycles)
+		diffResults(t, fmt.Sprintf("trial %d (%s, max=%d, shards=%d) sharded vs serial",
+			trial, cfg.Name, maxCycles, shardCfg.Shards), sharded, event)
 	}
 }
 

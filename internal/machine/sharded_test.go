@@ -1,0 +1,174 @@
+package machine
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+
+	"graphpim/internal/check"
+	"graphpim/internal/memmap"
+	"graphpim/internal/sim"
+	"graphpim/internal/trace"
+)
+
+// TestShardedDeterminism runs one workload at shard counts 1/2/8 under
+// GOMAXPROCS 1 and NumCPU and requires every combination to produce the
+// identical Result — the sharded scheduler's core contract: shard count
+// and host parallelism are pure wall-clock knobs.
+func TestShardedDeterminism(t *testing.T) {
+	sp, tr := synthWorkload(8, 200, 1<<16, 33)
+	ref := RunTrace(Baseline(), sp, tr)
+	procs := []int{1, runtime.NumCPU()}
+	for _, p := range procs {
+		prev := runtime.GOMAXPROCS(p)
+		for _, shards := range []int{1, 2, 8} {
+			cfg := Baseline()
+			cfg.Shards = shards
+			got := RunTrace(cfg, sp, tr)
+			diffResults(t, fmt.Sprintf("shards=%d GOMAXPROCS=%d", shards, p), got, ref)
+		}
+		runtime.GOMAXPROCS(prev)
+	}
+}
+
+// TestShardedWithChecks runs the sharded scheduler under the Periodic
+// sanitizer — exercising the shard auditor, the merged-counter
+// identities in auditStats, and the loop audit at epoch checkpoints —
+// and requires the audited result to stay byte-identical to an
+// unaudited serial run.
+func TestShardedWithChecks(t *testing.T) {
+	sp, tr := synthWorkload(6, 300, 1<<16, 44)
+	ref := RunTrace(GraphPIM(false), sp, tr)
+	cfg := GraphPIM(false)
+	cfg.Shards = 4
+	cfg.Check = check.Periodic
+	cfg.CheckInterval = 512
+	got := RunTrace(cfg, sp, tr)
+	diffResults(t, "sharded+periodic-checks vs serial", got, ref)
+}
+
+// TestShardedBarriers replays a multi-barrier workload sharded: the
+// barrier release path runs on the coordinator and must count exactly
+// one release per global barrier, like the serial scheduler.
+func TestShardedBarriers(t *testing.T) {
+	sp := memmap.NewAddressSpace()
+	prop := sp.PMRMalloc(1 << 12)
+	b := trace.NewBuilder(sp, 3)
+	const rounds = 5
+	for i := 0; i < rounds; i++ {
+		b.Thread(0).Compute(500 + i*100)
+		b.Thread(1).Compute(5)
+		b.Thread(2).Load(prop+memmap.Addr(i*64), 8, false)
+		b.Barrier()
+	}
+	tr := b.Build()
+	for _, shards := range []int{2, 3} {
+		cfg := Baseline()
+		cfg.Shards = shards
+		res := RunTrace(cfg, sp, tr)
+		if got := res.Stats["machine.barriers"]; got != rounds {
+			t.Fatalf("shards=%d: machine.barriers = %d, want %d", shards, got, rounds)
+		}
+		if res.Instructions != tr.TotalInstructions() {
+			t.Fatalf("shards=%d: retired %d of %d", shards, res.Instructions, tr.TotalInstructions())
+		}
+	}
+}
+
+// TestShardedTruncation pins the truncation contract for the sharded
+// path: a cut-off run reports exactly maxCycles and matches the serial
+// truncated result counter for counter.
+func TestShardedTruncation(t *testing.T) {
+	sp, tr := synthWorkload(4, 5000, 1<<22, 10)
+	const limit = 1000
+	ref := New(Baseline(), sp, tr).Run(limit)
+	cfg := Baseline()
+	cfg.Shards = 4
+	got := New(cfg, sp, tr).Run(limit)
+	if got.Cycles != limit {
+		t.Fatalf("sharded truncated run reported %d cycles, want %d", got.Cycles, limit)
+	}
+	diffResults(t, "sharded truncation vs serial", got, ref)
+}
+
+// TestShardsClamped: shard counts above NumCores must clamp rather than
+// build empty shards, and Shards<=1 must select the serial scheduler.
+func TestShardsClamped(t *testing.T) {
+	sp, tr := synthWorkload(2, 50, 1<<12, 55)
+	cfg := Baseline()
+	cfg.Shards = 64 // > NumCores (16)
+	m := New(cfg, sp, tr)
+	if got := len(m.shardStats); got != cfg.NumCores {
+		t.Fatalf("shard count %d not clamped to NumCores %d", got, cfg.NumCores)
+	}
+	serial := Baseline()
+	serial.Shards = 1
+	if m2 := New(serial, sp, tr); m2.shardStats != nil {
+		t.Fatal("Shards=1 built shard replicas; want the serial scheduler")
+	}
+	diffResults(t, "clamped shards vs serial", m.Run(0), RunTrace(Baseline(), sp, tr))
+}
+
+// TestShardAuditorCatchesCorruption injects a broken core-to-shard
+// assignment and a forged epoch diagnostic and requires auditShards to
+// reject both; the merged-counter conservation check is exercised by
+// draining a replica without folding it into the base registry.
+func TestShardAuditorCatchesCorruption(t *testing.T) {
+	sp, tr := synthWorkload(4, 50, 1<<12, 66)
+	cfg := Baseline()
+	cfg.Shards = 4
+	build := func() *Machine { return New(cfg, sp, tr) }
+
+	m := build()
+	m.Run(0)
+	if err := m.auditShards(0); err != nil {
+		t.Fatalf("clean sharded run failed the shard audit: %v", err)
+	}
+
+	m = build()
+	m.Run(0)
+	m.shardOf[1] = 0 // core 1 now claimed by shard 0's partition slot
+	if err := m.auditShards(0); err == nil || !strings.Contains(err.Error(), "assigned to shard") {
+		t.Fatalf("corrupt shard assignment not caught: %v", err)
+	}
+
+	m = build()
+	m.Run(0)
+	m.shardDiag = shardDiag{valid: true, bound: 100, procMax: 100}
+	if err := m.auditShards(0); err == nil || !strings.Contains(err.Error(), "bound") {
+		t.Fatalf("epoch-bound overrun not caught: %v", err)
+	}
+
+	m = build()
+	m.Run(0)
+	// Simulate a lossy merge: leak retirements out of a replica.
+	m.shardStats[0].Set("cpu.retired", 7)
+	m.stats.Add("cpu.retired", ^uint64(13)+1) // subtract 13
+	if err := m.auditShards(0); err == nil || !strings.Contains(err.Error(), "cpu.retired") {
+		t.Fatalf("counter-conservation violation not caught: %v", err)
+	}
+}
+
+// TestDrainInto pins the merge primitive: values move, slots stay (at
+// zero) on both sides, and repeated drains are no-ops.
+func TestDrainInto(t *testing.T) {
+	src, dst := sim.NewStats(), sim.NewStats()
+	src.Add("a", 5)
+	src.Add("b", 0) // zero-valued slot must still appear in dst
+	dst.Add("a", 2)
+	src.DrainInto(dst)
+	if got := dst.Get("a"); got != 7 {
+		t.Fatalf("dst a = %d, want 7", got)
+	}
+	if got := src.Get("a"); got != 0 {
+		t.Fatalf("src a = %d after drain, want 0", got)
+	}
+	if _, ok := dst.Snapshot()["b"]; !ok {
+		t.Fatal("zero-valued counter b did not create a slot in dst")
+	}
+	src.DrainInto(dst)
+	if got := dst.Get("a"); got != 7 {
+		t.Fatalf("second drain changed dst a to %d", got)
+	}
+}

@@ -184,4 +184,12 @@ type EnvInfo struct {
 	SweepSizes   []int  `json:"sweep_sizes"`
 	AppVertices  int    `json:"app_vertices"`
 	Parallelism  int    `json:"parallelism"`
+	// Shards is the in-simulation scheduler shard count (0/1 serial).
+	// Results are byte-identical at any value; recorded for provenance.
+	Shards int `json:"shards,omitempty"`
+	// NumCPU and Gomaxprocs record the host the run was produced on, so
+	// committed results (manifests, BENCH_*.json) carry machine
+	// provenance. Neither affects any simulated number.
+	NumCPU     int `json:"num_cpu,omitempty"`
+	Gomaxprocs int `json:"gomaxprocs,omitempty"`
 }

@@ -36,6 +36,14 @@ func (w *Wakeups) Len() int { return len(w.heap) }
 // Scheduled reports whether id currently has a wake time.
 func (w *Wakeups) Scheduled(id int) bool { return w.pos[id] >= 0 }
 
+// At returns id's scheduled wake time; only meaningful when
+// Scheduled(id) is true.
+func (w *Wakeups) At(id int) uint64 { return w.at[id] }
+
+// MinID returns the actor id of the (time, id)-smallest entry. It
+// panics on an empty queue; guard with Len or Min.
+func (w *Wakeups) MinID() int { return int(w.heap[0]) }
+
 // Schedule sets id's wake time to t, inserting the actor if absent or
 // moving it if already queued.
 func (w *Wakeups) Schedule(id int, t uint64) {
