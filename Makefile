@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench bench-json fuzz-short
+.PHONY: build vet test race bench bench-json fuzz-short smoke-stream
 
 build:
 	$(GO) build ./...
@@ -15,12 +15,15 @@ vet:
 # race suite: the parallel experiment engine's frozen-trace/space design
 # (memoized cells replayed from many goroutines) must keep the race
 # detector silent on every change.
+# The race suite gets an explicit per-package timeout: the harness
+# package replays full (quick-scale) experiments under the detector's
+# ~10x slowdown and brushes against go test's default 10m limit.
 test: build vet
 	$(GO) test ./...
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 20m ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 20m ./...
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./...
@@ -38,8 +41,21 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz '^FuzzTimeq$$' -fuzztime $(FUZZTIME) ./internal/cpu/
 
 # bench-json records the simulator throughput benchmarks (best of 3
-# reps) into the committed trajectory file BENCH_pr6.json under the
+# reps) into the committed trajectory file BENCH_pr7.json under the
 # "after" phase, preserving the recorded "before" baseline. Run it after
-# a performance-relevant change and commit the updated file.
+# a performance-relevant change and commit the updated file. The
+# trace-pipeline pair also records sampled peak heap (peak-bytes): the
+# streamed pipeline's before/after memory story lives in the same file.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_pr6.json -phase after
+	$(GO) run ./cmd/benchjson -out BENCH_pr7.json -phase after \
+		-bench 'BenchmarkMachineRun|BenchmarkSimulatorThroughput|BenchmarkTracePipeline'
+
+# smoke-stream runs the million-vertex streaming smoke test under a
+# constrained GC target: a 1M-vertex BFS traced through the spill
+# pipeline and replayed end to end must fit a 1GiB heap — less than
+# half of what the materialized trace alone would need (~2GB, 127M
+# records x 16B), on top of the ~600MB graph + property live set both
+# pipelines share.
+smoke-stream:
+	GRAPHPIM_STREAM_SMOKE=1 GOMEMLIMIT=1GiB \
+		$(GO) test -run '^TestStreamSmoke$$' -v -timeout 30m ./internal/harness/

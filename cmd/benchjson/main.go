@@ -25,13 +25,16 @@ import (
 
 // Bench is one benchmark's best repetition.
 type Bench struct {
-	Name     string  `json:"name"`
-	Reps     int     `json:"reps"`
-	Iters    int64   `json:"iters"`
-	NsOp     float64 `json:"ns_op"`
-	InstrsS  float64 `json:"instrs_s,omitempty"`
-	BytesOp  float64 `json:"bytes_op"`
-	AllocsOp float64 `json:"allocs_op"`
+	Name    string  `json:"name"`
+	Reps    int     `json:"reps"`
+	Iters   int64   `json:"iters"`
+	NsOp    float64 `json:"ns_op"`
+	InstrsS float64 `json:"instrs_s,omitempty"`
+	// PeakBytes is the sampled peak live heap during the benchmark, for
+	// benchmarks that report it (the trace-pipeline memory comparison).
+	PeakBytes float64 `json:"peak_bytes,omitempty"`
+	BytesOp   float64 `json:"bytes_op"`
+	AllocsOp  float64 `json:"allocs_op"`
 }
 
 // Phase is one measurement pass over the benchmark set.
@@ -192,6 +195,8 @@ func parseLine(line string) (Bench, bool) {
 			b.NsOp = v
 		case "instrs/s":
 			b.InstrsS = v
+		case "peak-bytes":
+			b.PeakBytes = v
 		case "B/op":
 			b.BytesOp = v
 		case "allocs/op":

@@ -105,6 +105,9 @@ run/workload flags:
   -j N             parallel workers for simulation cells (default: all CPUs)
   -shards N        scheduler shards inside each simulation: 1 serial,
                    0 auto (all CPUs); results are byte-identical at any N
+  -stream          build traces through the bounded-buffer streaming
+                   pipeline (spill file + chunked replay): byte-identical
+                   tables, peak memory bounded by graph + chunk buffers
   -format F        output format: text|json|csv (default text)
   -out DIR         write per-experiment JSONL records + manifest.json
   -check           enable simulation sanitizer audits (slower, byte-identical output)
@@ -208,6 +211,7 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 	memprofile := fs.String("memprofile", "", "write heap profile to this file")
 	workers := fs.Int("j", runtime.NumCPU(), "parallel workers for simulation cells")
 	shards := fs.Int("shards", 1, "scheduler shards per simulation (1 serial, 0 auto)")
+	stream := fs.Bool("stream", false, "stream traces through a bounded spill file (identical output, lower peak memory)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -240,6 +244,8 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 	env.Parallelism = *workers
 	env.Check = *checkOn
 	env.Shards = resolveShards(*shards)
+	env.Stream = *stream
+	defer env.Close()
 	if !*quiet {
 		env.Reporter = obs.NewTextReporter(stderr)
 	}
@@ -434,6 +440,7 @@ func cmdWorkload(args []string, stdout, stderr io.Writer) int {
 	mem := fs.String("mem", "hmc", "memory backend: hmc|ddr")
 	checkOn := fs.Bool("check", false, "enable simulation sanitizer audits (slower, identical output)")
 	shards := fs.Int("shards", 1, "scheduler shards per simulation (1 serial, 0 auto)")
+	stream := fs.Bool("stream", false, "stream the trace through a bounded spill file (identical output, lower peak memory)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -457,6 +464,7 @@ func cmdWorkload(args []string, stdout, stderr io.Writer) int {
 	opts.Check = *checkOn
 	opts.Memory = *mem
 	opts.Shards = resolveShards(*shards)
+	opts.Stream = *stream
 	if err := opts.Validate(); err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2

@@ -8,6 +8,7 @@ import (
 	"graphpim"
 	"graphpim/internal/gframe"
 	"graphpim/internal/machine"
+	"graphpim/internal/memmap"
 	"graphpim/internal/trace"
 )
 
@@ -21,12 +22,14 @@ func cmdTrace(args []string) {
 	vertices := fs.Int("vertices", 4096, "LDBC graph size")
 	seed := fs.Uint64("seed", 7, "generator seed")
 	save := fs.String("save", "", "write the trace to this file")
+	v1 := fs.Bool("v1", false, "save in the legacy flat v1 format instead of chunked v2")
 	replay := fs.String("replay", "", "replay a saved trace file instead of generating")
+	stream := fs.Bool("stream", false, "replay a v2 file chunk-by-chunk without materializing it")
 	config := fs.String("config", "graphpim", "replay config: baseline|upei|graphpim")
 	_ = fs.Parse(args)
 
 	if *replay != "" {
-		replayTrace(*replay, *config)
+		replayTrace(*replay, *config, *stream)
 		return
 	}
 	if fs.NArg() != 1 {
@@ -60,7 +63,14 @@ func cmdTrace(args []string) {
 			os.Exit(1)
 		}
 		defer f.Close()
-		if err := trace.Write(f, tr, fw.Space()); err != nil {
+		// v2 (chunked, delta/varint) is the default on-disk format; it is
+		// both smaller and replayable without materializing. -v1 keeps the
+		// flat fixed-record format for old tooling.
+		write := trace.WriteV2
+		if *v1 {
+			write = trace.Write
+		}
+		if err := write(f, tr, fw.Space()); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -69,17 +79,31 @@ func cmdTrace(args []string) {
 	}
 }
 
-func replayTrace(path, config string) {
+func replayTrace(path, config string, stream bool) {
 	f, err := os.Open(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	defer f.Close()
-	tr, space, err := trace.Read(f)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	var src trace.Source
+	var space *memmap.AddressSpace
+	if stream {
+		// Chunk-by-chunk replay straight off the file: v2 only (the flat
+		// v1 layout has no chunk index to stream from).
+		st, err := trace.OpenStream(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		src, space = st, st.Space()
+	} else {
+		tr, sp, err := trace.Read(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		src, space = tr, sp
 	}
 	var cfg machine.Config
 	switch config {
@@ -97,7 +121,7 @@ func replayTrace(path, config string) {
 	}
 	cfg.Cache.L2Size = 128 << 10
 	cfg.Cache.L3Size = 512 << 10
-	res := machine.RunTrace(cfg, space, tr)
+	res := machine.RunSource(cfg, space, src)
 	fmt.Printf("replayed %s under %s:\n", path, res.Config)
 	fmt.Printf("cycles:     %d\n", res.Cycles)
 	fmt.Printf("instrs:     %d\n", res.Instructions)

@@ -22,6 +22,7 @@ package graphpim
 import (
 	"context"
 	"fmt"
+	"os"
 
 	"graphpim/internal/analytic"
 	"graphpim/internal/check"
@@ -31,6 +32,7 @@ import (
 	"graphpim/internal/harness"
 	"graphpim/internal/machine"
 	"graphpim/internal/mem/ddr"
+	"graphpim/internal/trace"
 	"graphpim/internal/workloads"
 )
 
@@ -163,6 +165,14 @@ type Options struct {
 	// work on that many goroutines (clamped to the core count). Results
 	// are byte-identical at any value; see DESIGN.md §12.
 	Shards int
+	// Stream builds the trace through the bounded-buffer streaming
+	// pipeline (DESIGN.md §13): instruction records spill to an unlinked
+	// temp file as v2-encoded chunks instead of materializing in memory,
+	// and the replay reads them back through fixed-size decode windows.
+	// Results are byte-identical to the materialized path; peak memory
+	// drops from O(trace) to O(graph + chunk buffers), which is what
+	// lets million-vertex graphs simulate in a small container.
+	Stream bool
 }
 
 // Validate reports an out-of-range option. NewRun panics on invalid
@@ -244,10 +254,47 @@ func (r *Run) Execute(w Workload, cfg Config) Result {
 // ExecuteFull runs w under cfg and returns both the timing result and the
 // workload's functional output (e.g. BFS depths, PageRank values).
 func (r *Run) ExecuteFull(w Workload, cfg Config) (Result, any) {
+	if r.opts.Stream {
+		res, out, err := r.executeStreamed(w, cfg)
+		if err != nil {
+			// Trace construction has no error path; a spill-file failure
+			// is an environment fault (unwritable temp dir, disk full).
+			panic("graphpim: streamed execution: " + err.Error())
+		}
+		return res, out
+	}
 	fw := gframe.New(r.g, r.opts.Threads, gframe.DefaultCostModel())
 	out := w.Run(fw)
 	res := machine.RunTrace(r.machineConfig(cfg, w), fw.Space(), fw.Trace())
 	return res, out.Output
+}
+
+// executeStreamed is ExecuteFull's Options.Stream path: the workload's
+// records spill to an unlinked temp file as they are emitted, property
+// arrays are released once the functional run finishes (outputs are
+// snapshots, never aliases), and the machine replays chunk-by-chunk.
+func (r *Run) executeStreamed(w Workload, cfg Config) (Result, any, error) {
+	f, err := os.CreateTemp("", "graphpim-spill-*.gpimtrc2")
+	if err != nil {
+		return Result{}, nil, err
+	}
+	defer f.Close()
+	// Unlink now; the open descriptor keeps the inode alive and no crash
+	// can leave a stray spill file behind.
+	os.Remove(f.Name())
+	sw, err := trace.NewStreamWriter(f, r.opts.Threads, trace.DefaultChunkRecords)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	fw := gframe.NewStreaming(r.g, r.opts.Threads, gframe.DefaultCostModel(), sw)
+	out := w.Run(fw)
+	fw.ReleaseProperties()
+	st, err := fw.FinalizeStream()
+	if err != nil {
+		return Result{}, nil, err
+	}
+	res := machine.RunSource(r.machineConfig(cfg, w), fw.Space(), st)
+	return res, out.Output, nil
 }
 
 // Experiments returns every paper table/figure reproduction.

@@ -1,10 +1,6 @@
 package cpu
 
-import (
-	"fmt"
-
-	"graphpim/internal/trace"
-)
+import "fmt"
 
 // Sanitizer support. The core keeps redundant state in three places:
 // the timeq bags track their minimum incrementally next to the backing
@@ -34,19 +30,12 @@ func (q *timeq) audit() error {
 
 // expectedRetired returns the total instruction count the stream expands
 // to: compute batches contribute N units, barriers contribute nothing,
-// every other record retires exactly once. Computed lazily — streams are
-// frozen after trace build, so the total never changes.
+// every other record retires exactly once — trace.Counts.Instrs, which
+// the cursor knows for the whole stream up front. Computed lazily —
+// streams are frozen after trace build, so the total never changes.
 func (c *Core) expectedRetired() uint64 {
 	if !c.expectKnown {
-		for _, in := range c.stream {
-			switch in.Kind {
-			case trace.KindCompute:
-				c.expectTotal += uint64(in.N)
-			case trace.KindBarrier:
-			default:
-				c.expectTotal++
-			}
-		}
+		c.expectTotal = c.cur.Counts().Instrs
 		c.expectKnown = true
 	}
 	return c.expectTotal
@@ -77,8 +66,11 @@ func (c *Core) Audit(now uint64) error {
 			return fmt.Errorf("%s occupancy %d exceeds capacity %d", q.name, q.q.len(), q.cap)
 		}
 	}
-	if c.pc > len(c.stream) {
-		return fmt.Errorf("pc %d past stream end %d", c.pc, len(c.stream))
+	if c.pc > len(c.win) {
+		return fmt.Errorf("pc %d past window end %d", c.pc, len(c.win))
+	}
+	if recs := c.cur.Counts().Records; c.winBase+uint64(c.pc) > recs {
+		return fmt.Errorf("cursor position %d past stream end %d", c.winBase+uint64(c.pc), recs)
 	}
 	if c.computeLeft < 0 {
 		return fmt.Errorf("negative compute batch remainder %d", c.computeLeft)

@@ -201,8 +201,16 @@ type Core struct {
 	mem MemorySystem
 	ctr coreCounters
 
-	stream      []trace.Instr
+	// The instruction stream arrives through cur as contiguous windows
+	// (trace.Cursor): win is the current window, pc the index into it,
+	// winBase the records consumed before it. A materialized trace is one
+	// whole-slice window, so the dispatch hot path stays plain slice
+	// indexing; a streamed trace refills win one decoded chunk at a time.
+	cur         trace.Cursor
+	win         []trace.Instr
 	pc          int
+	winBase     uint64
+	eof         bool
 	computeLeft int  // remaining units of the current compute batch
 	computeDep  bool // first unit of the batch depends on lastMemDone
 
@@ -236,8 +244,15 @@ type Core struct {
 	auditPrevRetired uint64
 }
 
-// NewCore builds a core replaying stream against mem.
+// NewCore builds a core replaying a materialized stream against mem.
 func NewCore(id int, cfg Config, mem MemorySystem, stream []trace.Instr, stats *sim.Stats) *Core {
+	return NewCoreCursor(id, cfg, mem, trace.SliceCursor(stream), stats)
+}
+
+// NewCoreCursor builds a core consuming its instruction stream through a
+// trace.Cursor — one whole-slice window for materialized traces, bounded
+// decoded chunks for streamed ones.
+func NewCoreCursor(id int, cfg Config, mem MemorySystem, cur trace.Cursor, stats *sim.Stats) *Core {
 	if cfg.IssueWidth <= 0 || cfg.ROBSize <= 0 {
 		panic("cpu: invalid core config")
 	}
@@ -249,16 +264,40 @@ func NewCore(id int, cfg Config, mem MemorySystem, stream []trace.Instr, stats *
 	// times, so a core costs one queue allocation instead of four.
 	slab := arena.NewSlab[uint64](cfg.ROBSize + cfg.WriteBufferSize + cfg.MSHRs + cfg.AtomicQueue)
 	return &Core{
-		id:     id,
-		cfg:    cfg,
-		mem:    mem,
-		ctr:    resolveCoreCounters(stats),
-		stream: stream,
-		rob:    slab.Take(cfg.ROBSize),
-		wb:     newTimeqOn(slab, cfg.WriteBufferSize),
-		mshr:   newTimeqOn(slab, cfg.MSHRs),
-		atomq:  newTimeqOn(slab, cfg.AtomicQueue),
+		id:    id,
+		cfg:   cfg,
+		mem:   mem,
+		ctr:   resolveCoreCounters(stats),
+		cur:   cur,
+		rob:   slab.Take(cfg.ROBSize),
+		wb:    newTimeqOn(slab, cfg.WriteBufferSize),
+		mshr:  newTimeqOn(slab, cfg.MSHRs),
+		atomq: newTimeqOn(slab, cfg.AtomicQueue),
 	}
+}
+
+// Cursor exposes the core's stream cursor (the machine registers
+// auditable cursors with the sanitizer).
+func (c *Core) Cursor() trace.Cursor { return c.cur }
+
+// more reports whether a record is available at the cursor position,
+// pulling the next window when the current one is consumed. The fast
+// path is one comparison; refills happen once per window.
+func (c *Core) more() bool {
+	for c.pc >= len(c.win) {
+		if c.eof {
+			return false
+		}
+		c.winBase += uint64(len(c.win))
+		c.win = c.cur.NextWindow()
+		c.pc = 0
+		if len(c.win) == 0 {
+			c.eof = true
+			c.win = nil
+			return false
+		}
+	}
+	return true
 }
 
 // robPush appends a completion time to the ROB ring. The dispatch loop
@@ -305,14 +344,14 @@ func (c *Core) ReleaseBarrier(now uint64) {
 
 // Done reports whether the core has retired everything.
 func (c *Core) Done() bool {
-	return c.pc >= len(c.stream) && c.computeLeft == 0 &&
-		c.robN == 0 && c.wb.empty() && !c.waitingBarrier
+	return c.computeLeft == 0 && c.robN == 0 && c.wb.empty() &&
+		!c.waitingBarrier && !c.more()
 }
 
 // exhausted reports whether the instruction stream is fully dispatched:
 // only in-flight work (ROB, write buffer) keeps the core from Done.
 func (c *Core) exhausted() bool {
-	return c.pc >= len(c.stream) && c.computeLeft == 0
+	return c.computeLeft == 0 && !c.more()
 }
 
 func maxu(a, b uint64) uint64 {
@@ -675,10 +714,10 @@ func (c *Core) peek() (trace.Instr, bool) {
 	if c.computeLeft > 0 {
 		return trace.Instr{Kind: trace.KindCompute, N: uint16(c.computeLeft)}, true
 	}
-	if c.pc >= len(c.stream) {
+	if !c.more() {
 		return trace.Instr{}, false
 	}
-	return c.stream[c.pc], true
+	return c.win[c.pc], true
 }
 
 // LastReason exposes the core's current stall classification (tests and

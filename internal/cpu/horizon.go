@@ -54,10 +54,13 @@ func (c *Core) LocalHorizon(wakeT uint64) uint64 {
 	// that very tick.
 	k := c.computeLeft
 	if k == 0 {
-		if c.stream[c.pc].Kind != trace.KindCompute {
+		// exhausted() returned false with no batch in progress, so more()
+		// has just pulled a window and c.win[c.pc] is the stream front.
+		in := c.win[c.pc]
+		if in.Kind != trace.KindCompute {
 			return bound
 		}
-		k = int(c.stream[c.pc].N)
+		k = int(in.N)
 	}
 	// A compute batch of k units stands between the core and the next
 	// potentially-shared instruction. Per tick the dispatch loop issues

@@ -73,6 +73,17 @@ type Property struct {
 	elem     uint64
 	stride   uint64
 	vals     []uint64
+	released bool
+}
+
+// values guards the functional array: after ReleaseProperties only
+// addresses remain valid, and touching values is a caller bug that must
+// fail loudly rather than read zeros.
+func (p *Property) values() []uint64 {
+	if p.released {
+		panic("gframe: property " + p.name + " values accessed after ReleaseProperties")
+	}
+	return p.vals
 }
 
 // Name returns the property name.
@@ -87,21 +98,22 @@ func (p *Property) Addr(v graph.VID) memmap.Addr {
 }
 
 // U64 returns v's value as an integer.
-func (p *Property) U64(v graph.VID) uint64 { return p.vals[v] }
+func (p *Property) U64(v graph.VID) uint64 { return p.values()[v] }
 
 // SetU64 sets v's value (functional initialization, no trace).
-func (p *Property) SetU64(v graph.VID, x uint64) { p.vals[v] = x }
+func (p *Property) SetU64(v graph.VID, x uint64) { p.values()[v] = x }
 
 // F64 returns v's value as a float.
-func (p *Property) F64(v graph.VID) float64 { return math.Float64frombits(p.vals[v]) }
+func (p *Property) F64(v graph.VID) float64 { return math.Float64frombits(p.values()[v]) }
 
 // SetF64 sets v's value as a float (functional initialization, no trace).
-func (p *Property) SetF64(v graph.VID, x float64) { p.vals[v] = math.Float64bits(x) }
+func (p *Property) SetF64(v graph.VID, x float64) { p.values()[v] = math.Float64bits(x) }
 
 // Fill sets every element (functional initialization, no trace).
 func (p *Property) Fill(x uint64) {
-	for i := range p.vals {
-		p.vals[i] = x
+	vals := p.values()
+	for i := range vals {
+		vals[i] = x
 	}
 }
 
@@ -110,8 +122,9 @@ func (p *Property) FillF64(x float64) { p.Fill(math.Float64bits(x)) }
 
 // Snapshot returns a copy of the raw values (tests).
 func (p *Property) Snapshot() []uint64 {
-	out := make([]uint64, len(p.vals))
-	copy(out, p.vals)
+	vals := p.values()
+	out := make([]uint64, len(vals))
+	copy(out, vals)
 	return out
 }
 
@@ -148,6 +161,19 @@ const (
 // New builds a framework instance for g with the given logical thread
 // count and cost model.
 func New(g *graph.Graph, threads int, cost CostModel) *Framework {
+	return build(g, threads, cost, nil)
+}
+
+// NewStreaming builds a framework whose emitted trace spills to sw in
+// chunks instead of materializing: the builder flushes per-thread chunk
+// buffers through sw's bounded ring as the workload runs, so peak memory
+// is the graph plus live chunks, never the whole trace. Use
+// FinalizeStream (not Trace) to complete the run.
+func NewStreaming(g *graph.Graph, threads int, cost CostModel, sw *trace.StreamWriter) *Framework {
+	return build(g, threads, cost, sw)
+}
+
+func build(g *graph.Graph, threads int, cost CostModel, sw *trace.StreamWriter) *Framework {
 	if threads <= 0 {
 		panic(fmt.Sprintf("gframe: invalid thread count %d", threads))
 	}
@@ -155,9 +181,16 @@ func New(g *graph.Graph, threads int, cost CostModel) *Framework {
 	f := &Framework{
 		g:       g,
 		space:   space,
-		builder: trace.NewBuilder(space, threads),
 		cost:    cost,
 		threads: threads,
+	}
+	if sw != nil {
+		f.builder = trace.NewStreamingBuilder(space, sw)
+		if f.builder.NumThreads() != threads {
+			panic(fmt.Sprintf("gframe: stream writer has %d threads, framework %d", f.builder.NumThreads(), threads))
+		}
+	} else {
+		f.builder = trace.NewBuilder(space, threads)
 	}
 	f.pmrCoverage = 1
 	f.vertexHdrBase = space.AllocStruct(uint64(g.NumVertices()) * vertexHdrBytes)
@@ -223,6 +256,25 @@ func (f *Framework) Barrier() { f.builder.Barrier() }
 
 // Trace snapshots the emitted instruction streams.
 func (f *Framework) Trace() *trace.Trace { return f.builder.Build() }
+
+// FinalizeStream completes a streaming framework's chunk log and returns
+// the replayable Stream. NewStreaming frameworks only.
+func (f *Framework) FinalizeStream() (*trace.Stream, error) {
+	return f.builder.Finalize()
+}
+
+// ReleaseProperties drops every property array's functional values. The
+// streaming pipeline calls it after the workload has run (and its output
+// snapshots are taken): replay only needs addresses, so holding
+// per-vertex values for the duration of every machine configuration
+// would put an O(vertices) term back into peak RSS. Accessing a released
+// property's values panics.
+func (f *Framework) ReleaseProperties() {
+	for _, p := range f.props {
+		p.vals = nil
+		p.released = true
+	}
+}
 
 // Thread returns the per-thread execution context.
 func (f *Framework) Thread(t int) *Ctx {

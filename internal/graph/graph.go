@@ -103,9 +103,12 @@ func (b *Builder) AddWeightedEdge(src, dst VID, w uint32) {
 func (b *Builder) NumEdges() int { return len(b.edges) }
 
 // Build finalizes the CSR structures. Self-loops are kept; duplicate
-// edges are dropped when dedup is true.
+// edges are dropped when dedup is true. Build does not disturb the
+// builder: it sorts (and dedups) a copy of the edge list, so NumEdges
+// stays truthful afterwards and AddEdge-then-rebuild keeps working.
 func (b *Builder) Build(dedup bool) *Graph {
-	edges := b.edges
+	edges := make([]Edge, len(b.edges))
+	copy(edges, b.edges)
 	sort.Slice(edges, func(i, j int) bool {
 		if edges[i].Src != edges[j].Src {
 			return edges[i].Src < edges[j].Src

@@ -269,3 +269,52 @@ func TestLDBCSizesTable(t *testing.T) {
 		t.Fatal("Table VI sizes wrong")
 	}
 }
+
+// TestBuildNonDestructive is a regression test for a Build that sorted
+// (and deduped) the builder's own edge slice in place: a second Build —
+// or NumEdges, or AddEdge-then-rebuild — observed a reordered or
+// truncated edge list.
+func TestBuildNonDestructive(t *testing.T) {
+	b := NewBuilder(4)
+	// Deliberately unsorted, with duplicates.
+	b.AddWeightedEdge(3, 0, 9)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 1)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 3)
+	if b.NumEdges() != 5 {
+		t.Fatalf("NumEdges = %d before Build", b.NumEdges())
+	}
+
+	g1 := b.Build(true)
+	if b.NumEdges() != 5 {
+		t.Fatalf("Build(dedup) changed NumEdges to %d", b.NumEdges())
+	}
+	g2 := b.Build(true)
+	if g1.NumEdges() != 4 || g2.NumEdges() != g1.NumEdges() {
+		t.Fatalf("double Build: %d then %d edges", g1.NumEdges(), g2.NumEdges())
+	}
+	for v := 0; v < 4; v++ {
+		a, c := g1.OutNeighbors(VID(v)), g2.OutNeighbors(VID(v))
+		if len(a) != len(c) {
+			t.Fatalf("vertex %d degree drifted: %d != %d", v, len(a), len(c))
+		}
+		for i := range a {
+			if a[i] != c[i] {
+				t.Fatalf("vertex %d edge %d drifted across Builds", v, i)
+			}
+		}
+	}
+
+	// Build without dedup after a deduped Build must still see all 5
+	// edges — the duplicate was dropped from a copy, not the builder.
+	if g := b.Build(false); g.NumEdges() != 5 {
+		t.Fatalf("Build(false) after Build(true) lost edges: %d", g.NumEdges())
+	}
+
+	// The builder stays usable for incremental growth.
+	b.AddEdge(3, 2)
+	if g := b.Build(false); g.NumEdges() != 6 {
+		t.Fatalf("AddEdge after Build: %d edges", g.NumEdges())
+	}
+}

@@ -52,6 +52,7 @@ func ReadEdgeList(r io.Reader, dedup bool) (*Graph, error) {
 	var edges []rawEdge
 	var maxID uint64
 	var declared uint64
+	declaredLine := 0
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -60,11 +61,18 @@ func ReadEdgeList(r io.Reader, dedup bool) (*Graph, error) {
 			continue
 		}
 		if line[0] == '#' || line[0] == '%' {
-			// Honor a "# vertices: N" header if present.
-			if idx := strings.Index(line, "vertices:"); idx >= 0 {
-				if n, err := strconv.ParseUint(strings.TrimSpace(line[idx+len("vertices:"):]), 10, 32); err == nil {
-					declared = n
+			// Honor a "# vertices: N" header. Only a comment whose body
+			// starts with "vertices:" counts — a substring match would
+			// also fire on "# max_vertices: 5" or "# edges: 9 vertices: 3"
+			// and silently (mis)set the count.
+			body := strings.TrimSpace(strings.TrimLeft(line, "#% \t"))
+			if rest, ok := strings.CutPrefix(body, "vertices:"); ok {
+				n, err := strconv.ParseUint(strings.TrimSpace(rest), 10, 32)
+				if err != nil {
+					return nil, fmt.Errorf("graph: line %d: bad vertex-count header %q: %w", lineNo, line, err)
 				}
+				declared = n
+				declaredLine = lineNo
 			}
 			continue
 		}
@@ -99,6 +107,12 @@ func ReadEdgeList(r io.Reader, dedup bool) (*Graph, error) {
 		return nil, fmt.Errorf("graph: reading edge list: %w", err)
 	}
 	n := maxID + 1
+	if declaredLine > 0 && len(edges) > 0 && declared < n {
+		// A header smaller than the ids actually seen is a corrupt or
+		// mislabeled file; silently ignoring it would hide truncation.
+		return nil, fmt.Errorf("graph: line %d: header declares %d vertices but edges reference id %d",
+			declaredLine, declared, maxID)
+	}
 	if declared > n {
 		n = declared
 	}

@@ -117,3 +117,43 @@ func TestReadEdgeListErrors(t *testing.T) {
 		t.Fatalf("empty input: %v %v", g, err)
 	}
 }
+
+// TestReadEdgeListHeaderMatching pins the vertex-count header grammar:
+// only a comment whose body starts with "vertices:" sets the count.
+// Substring matching here once let "# max_vertices: 5" and
+// "# edges: 9 vertices: 3" silently (mis)size the graph.
+func TestReadEdgeListHeaderMatching(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      string
+		wantN   int
+		wantErr bool
+	}{
+		{"hash header", "# vertices: 10\n0 1\n", 10, false},
+		{"percent header", "% vertices: 12\n0 1\n", 12, false},
+		{"no space after colon", "#vertices:8\n0 1\n", 8, false},
+		{"max_vertices is not a header", "# max_vertices: 5000000\n0 1\n", 2, false},
+		{"edges line is not a header", "# edges: 9 vertices: 3000000\n0 1\n", 2, false},
+		{"bad numeric header", "# vertices: ten\n0 1\n", 0, true},
+		{"declared too small", "# vertices: 3\n0 1\n7 0\n", 0, true},
+		{"declared enlarges", "# vertices: 64\n0 1\n", 64, false},
+		{"declared exact", "# vertices: 8\n0 7\n", 8, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := ReadEdgeList(strings.NewReader(tc.in), false)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("accepted %q", tc.in)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g.NumVertices() != tc.wantN {
+				t.Fatalf("vertices = %d, want %d", g.NumVertices(), tc.wantN)
+			}
+		})
+	}
+}

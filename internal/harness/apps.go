@@ -71,11 +71,11 @@ func (e *Env) appRun(name string) (base, gpim machine.Result) {
 		rkey := runKey{"app:" + name, e.AppVertices, kind, false, "", e.Seed}
 		return e.runCell(rkey, func() machine.Result {
 			tr := e.traceCell(key, func() *tracedRun {
-				fw := gframe.New(mkGraph(), e.Threads, gframe.DefaultCostModel())
-				res := w.Run(fw)
-				return &tracedRun{fw: fw, tr: fw.Trace(), res: res}
+				return e.buildTraced(mkGraph(), func(fw *gframe.Framework) workloads.Result {
+					return w.Run(fw)
+				})
 			})
-			return machine.RunTrace(e.Config(kind, w), tr.fw.Space(), tr.tr)
+			return machine.RunSource(e.Config(kind, w), tr.fw.Space(), tr.source())
 		})
 	}
 	return run(KindBaseline), run(KindGraphPIM)

@@ -281,6 +281,7 @@ func (e *Env) Info() obs.EnvInfo {
 		AppVertices:  e.AppVertices,
 		Parallelism:  e.Parallelism,
 		Shards:       e.Shards,
+		Stream:       e.Stream,
 		NumCPU:       runtime.NumCPU(),
 		Gomaxprocs:   runtime.GOMAXPROCS(0),
 	}
@@ -298,5 +299,6 @@ func EnvFromInfo(info obs.EnvInfo) *Env {
 		AppVertices:  info.AppVertices,
 		Parallelism:  info.Parallelism,
 		Shards:       info.Shards,
+		Stream:       info.Stream,
 	}
 }

@@ -84,12 +84,12 @@ func extHybridMemory() Experiment {
 					rkey := runKey{label, e.Vertices, kind, false, "", e.Seed}
 					return e.runCell(rkey, func() machine.Result {
 						tr := e.traceCell(traceKey{label, e.Vertices, e.Seed}, func() *tracedRun {
-							fw := gframe.New(e.Graph(e.Vertices), e.Threads, gframe.DefaultCostModel())
-							fw.SetPMRCoverage(cov)
-							res := w.Run(fw)
-							return &tracedRun{fw: fw, tr: fw.Trace(), res: res}
+							return e.buildTraced(e.Graph(e.Vertices), func(fw *gframe.Framework) workloads.Result {
+								fw.SetPMRCoverage(cov)
+								return w.Run(fw)
+							})
 						})
-						return machine.RunTrace(e.Config(kind, w), tr.fw.Space(), tr.tr)
+						return machine.RunSource(e.Config(kind, w), tr.fw.Space(), tr.source())
 					})
 				}
 				row := []string{name}
@@ -181,15 +181,14 @@ func extSeedStability() Experiment {
 					label := "seedstab:" + name
 					tkey := traceKey{label, size, seed}
 					buildTrace := func() *tracedRun {
-						g := graph.LDBC(size, seed)
-						fw := gframe.New(g, e.Threads, gframe.DefaultCostModel())
-						res := w.Run(fw)
-						return &tracedRun{fw: fw, tr: fw.Trace(), res: res}
+						return e.buildTraced(graph.LDBC(size, seed), func(fw *gframe.Framework) workloads.Result {
+							return w.Run(fw)
+						})
 					}
 					seedRun := func(kind ConfigKind) machine.Result {
 						return e.runCell(runKey{label, size, kind, false, "", seed}, func() machine.Result {
 							tr := e.traceCell(tkey, buildTrace)
-							return machine.RunTrace(e.Config(kind, w), tr.fw.Space(), tr.tr)
+							return machine.RunSource(e.Config(kind, w), tr.fw.Space(), tr.source())
 						})
 					}
 					base := seedRun(KindBaseline)

@@ -16,6 +16,7 @@ package harness
 import (
 	"fmt"
 	"math"
+	"os"
 	"strings"
 	"sync"
 	"time"
@@ -78,6 +79,13 @@ type Env struct {
 	// goroutines. Results are byte-identical at any value (see
 	// DESIGN.md §12), so tables never depend on it.
 	Shards int
+	// Stream builds every trace through the bounded-buffer streaming
+	// pipeline (DESIGN.md §13): the generator spills v2-encoded chunks
+	// to an unlinked temp file instead of materializing []trace.Instr
+	// per thread, and replays read chunks back through fixed-size decode
+	// windows. Results and tables are byte-identical either way; only
+	// peak memory changes. Call Close when done to release spill files.
+	Stream bool
 
 	// Reporter receives engine progress events (per-cell completions,
 	// per-phase durations); nil means silent. Implementations must be
@@ -131,9 +139,13 @@ func (s *traceSlot) get() *tracedRun {
 		s.build = nil
 		// Hand-off point: the trace and its address space are now
 		// shared, possibly by concurrent replays. Freeze both so any
-		// stray post-build mutation panics instead of racing.
+		// stray post-build mutation panics instead of racing. A
+		// streamed cell has no materialized Trace to freeze — the
+		// spill file is immutable once Finalize returns.
 		s.tr.fw.Space().Freeze()
-		s.tr.tr.Freeze()
+		if s.tr.tr != nil {
+			s.tr.tr.Freeze()
+		}
 	})
 	return s.tr
 }
@@ -158,11 +170,35 @@ func (s *runSlot) get() machine.Result {
 	return s.res
 }
 
-// tracedRun is one workload's functional execution and trace.
+// tracedRun is one workload's functional execution and trace. Exactly
+// one of tr (materialized) and stream (spill-file backed, Env.Stream)
+// is non-nil; source() hides the difference from replay sites.
 type tracedRun struct {
-	fw  *gframe.Framework
-	tr  *trace.Trace
-	res workloads.Result
+	fw     *gframe.Framework
+	tr     *trace.Trace
+	stream *trace.Stream
+	spill  *os.File
+	res    workloads.Result
+}
+
+// source returns the replayable instruction source, whichever form the
+// build produced.
+func (t *tracedRun) source() trace.Source {
+	if t.stream != nil {
+		return t.stream
+	}
+	return t.tr
+}
+
+// strippedSource returns the Fig. 4 atomics-stripped view of the run:
+// the materialized path rewrites the trace up front, the streamed path
+// strips on the fly per cursor window. Both expand to the identical
+// record sequence, so replays agree byte-for-byte.
+func (t *tracedRun) strippedSource() trace.Source {
+	if t.stream != nil {
+		return trace.StripSource(t.stream)
+	}
+	return t.tr.StripAtomics()
 }
 
 // DefaultEnv returns the scale used for the recorded results in
@@ -297,13 +333,73 @@ func (e *Env) runCell(key runKey, compute func() machine.Result) machine.Result 
 	return s.get()
 }
 
+// buildTraced executes run against a fresh framework over g and returns
+// the finished tracedRun. With e.Stream unset the trace materializes in
+// memory (fw.Trace); with it set the framework spills v2-encoded chunks
+// to an unlinked temp file as the workload emits them, the property
+// arrays are released as soon as the functional run finishes, and the
+// returned cell holds a *trace.Stream over the spill file. Build
+// failures (temp-file IO, encoder errors) panic: trace construction has
+// no error path today and an unwritable temp dir is an environment
+// fault, not an input error.
+func (e *Env) buildTraced(g *graph.Graph, run func(*gframe.Framework) workloads.Result) *tracedRun {
+	if !e.Stream {
+		fw := gframe.New(g, e.Threads, gframe.DefaultCostModel())
+		res := run(fw)
+		return &tracedRun{fw: fw, tr: fw.Trace(), res: res}
+	}
+	f, err := os.CreateTemp("", "graphpim-spill-*.gpimtrc2")
+	if err != nil {
+		panic(fmt.Sprintf("harness: creating trace spill file: %v", err))
+	}
+	// Unlink immediately: the kernel keeps the inode alive through the
+	// open descriptor, and no crash can leave a stray spill behind.
+	os.Remove(f.Name())
+	sw, err := trace.NewStreamWriter(f, e.Threads, trace.DefaultChunkRecords)
+	if err != nil {
+		f.Close()
+		panic(fmt.Sprintf("harness: starting stream writer: %v", err))
+	}
+	fw := gframe.NewStreaming(g, e.Threads, gframe.DefaultCostModel(), sw)
+	res := run(fw)
+	// The functional answer is computed; drop the property arrays so a
+	// streamed cell's steady state is CSR + live chunks, not the whole
+	// value set (replays never touch property values).
+	fw.ReleaseProperties()
+	st, err := fw.FinalizeStream()
+	if err != nil {
+		f.Close()
+		panic(fmt.Sprintf("harness: finalizing streamed trace: %v", err))
+	}
+	return &tracedRun{fw: fw, stream: st, spill: f, res: res}
+}
+
+// Close releases every spill file streamed cells hold open. Call it
+// once no further replays will run (streamed cursors read the files on
+// demand); a non-streaming Env's Close is a no-op. The Env remains
+// usable for memoized results afterwards.
+func (e *Env) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var first error
+	for _, s := range e.traces {
+		if s.tr != nil && s.tr.spill != nil {
+			if err := s.tr.spill.Close(); err != nil && first == nil {
+				first = err
+			}
+			s.tr.spill = nil
+		}
+	}
+	return first
+}
+
 // Trace returns the cached functional run + trace of w on the LDBC graph
 // of the given size.
 func (e *Env) Trace(w workloads.Workload, vertices int) *tracedRun {
 	return e.traceCell(traceKey{w.Info().Name, vertices, e.Seed}, func() *tracedRun {
-		fw := gframe.New(e.Graph(vertices), e.Threads, gframe.DefaultCostModel())
-		res := w.Run(fw)
-		return &tracedRun{fw: fw, tr: fw.Trace(), res: res}
+		return e.buildTraced(e.Graph(vertices), func(fw *gframe.Framework) workloads.Result {
+			return w.Run(fw)
+		})
 	})
 }
 
@@ -317,7 +413,7 @@ func (e *Env) RunSized(w workloads.Workload, vertices int, kind ConfigKind) mach
 	key := runKey{w.Info().Name, vertices, kind, w.Info().NeedsFPExtension, "", e.Seed}
 	return e.runCell(key, func() machine.Result {
 		tr := e.Trace(w, vertices)
-		return machine.RunTrace(e.Config(kind, w), tr.fw.Space(), tr.tr)
+		return machine.RunSource(e.Config(kind, w), tr.fw.Space(), tr.source())
 	})
 }
 
@@ -330,7 +426,7 @@ func (e *Env) RunVariant(w workloads.Workload, kind ConfigKind, variant string,
 		cfg := e.Config(kind, w)
 		adjust(&cfg)
 		tr := e.Trace(w, e.Vertices)
-		return machine.RunTrace(cfg, tr.fw.Space(), tr.tr)
+		return machine.RunSource(cfg, tr.fw.Space(), tr.source())
 	})
 }
 

@@ -83,8 +83,7 @@ func fig4AtomicOverhead() Experiment {
 				key := runKey{w.Info().Name, e.Vertices, KindBaseline, w.Info().NeedsFPExtension, "strip", e.Seed}
 				withoutRes := e.runCell(key, func() machine.Result {
 					tr := e.Trace(w, e.Vertices)
-					stripped := tr.tr.StripAtomics()
-					return machine.RunTrace(e.Config(KindBaseline, w), tr.fw.Space(), stripped)
+					return machine.RunSource(e.Config(KindBaseline, w), tr.fw.Space(), tr.strippedSource())
 				})
 				norm := float64(withRes.Cycles) / float64(withoutRes.Cycles)
 				overhead := 1 - float64(withoutRes.Cycles)/float64(withRes.Cycles)

@@ -1,0 +1,121 @@
+package harness
+
+import (
+	"context"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"graphpim/internal/workloads"
+)
+
+// TestStreamTableIdentity is the harness-level gate for the streaming
+// pipeline: the same experiment run with Stream on and off must render
+// byte-identical tables. fig4 replays a stripped trace (the atomic →
+// load+store view), so this also covers the StripSource adapter; the
+// streaming env runs with the sanitizer on, so every replay is audited
+// by the stream-bounds checker too. One experiment keeps the harness
+// race suite inside its timeout; broader table coverage lives in the CI
+// stream-smoke job, which diffs the CLI output of every quick
+// experiment with and without -stream.
+func TestStreamTableIdentity(t *testing.T) {
+	ex, err := ByID("fig4-atomic-overhead")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := testEnv(1)
+	want, err := ref.RunExperiment(context.Background(), ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := testEnv(1)
+	env.Stream = true
+	defer env.Close()
+	got, err := env.RunExperiment(context.Background(), ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Fatalf("table differs under -stream:\n--- materialized ---\n%s\n--- streamed ---\n%s",
+			want.String(), got.String())
+	}
+}
+
+// TestStreamSmoke is the million-vertex streaming smoke: a 1M+-vertex
+// BFS traced through the spill pipeline and replayed end to end, with
+// the heap sampled throughout. It asserts the pipeline's reason to
+// exist — peak heap stays below what materializing the trace alone
+// would cost — and that the streamed replay retires exactly the
+// instruction count the stream footer carries.
+//
+// It allocates a multi-gigabyte-scale workload's worth of work, so it
+// only runs when GRAPHPIM_STREAM_SMOKE=1 (CI runs it in a dedicated
+// memory-bounded job; see .github/workflows).
+func TestStreamSmoke(t *testing.T) {
+	if os.Getenv("GRAPHPIM_STREAM_SMOKE") == "" {
+		t.Skip("set GRAPHPIM_STREAM_SMOKE=1 to run the 1M-vertex streaming smoke")
+	}
+	env := &Env{
+		Vertices:     1 << 20,
+		Seed:         7,
+		Threads:      16,
+		ScaledCaches: true,
+		Stream:       true,
+	}
+	defer env.Close()
+
+	// Sample the live heap while the pipeline runs. HeapAlloc between
+	// GCs overshoots the live set, so the bound below is generous; the
+	// materialized pipeline blows through it anyway (see BENCH_pr7.json
+	// for measured before/after peaks).
+	var peak atomic.Uint64
+	done := make(chan struct{})
+	sampler := make(chan struct{})
+	go func() {
+		defer close(sampler)
+		var ms runtime.MemStats
+		for {
+			runtime.ReadMemStats(&ms)
+			for {
+				p := peak.Load()
+				if ms.HeapAlloc <= p || peak.CompareAndSwap(p, ms.HeapAlloc) {
+					break
+				}
+			}
+			select {
+			case <-done:
+				return
+			case <-time.After(50 * time.Millisecond):
+			}
+		}
+	}()
+
+	w, err := workloads.ByName("BFS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := env.RunSized(w, env.Vertices, KindGraphPIM)
+	close(done)
+	<-sampler
+
+	tr := env.Trace(w, env.Vertices)
+	if tr.stream == nil {
+		t.Fatal("streaming env materialized its trace")
+	}
+	if res.Instructions != tr.stream.TotalInstructions() {
+		t.Fatalf("retired %d instructions, stream carries %d", res.Instructions, tr.stream.TotalInstructions())
+	}
+
+	// The would-be materialized trace: 16 bytes per record across all
+	// threads. Peak heap must stay below graph + a fraction of that —
+	// the streamed pipeline's whole point. The graph itself (CSR +
+	// properties) is small next to the trace at this scale.
+	materializedBytes := tr.stream.TotalRecords() * 16
+	if p := peak.Load(); p >= materializedBytes {
+		t.Fatalf("peak heap %d B not below would-be materialized trace %d B", p, materializedBytes)
+	}
+	t.Logf("1M-vertex BFS: %d records (%d B materialized), peak heap %d B, %d cycles",
+		tr.stream.TotalRecords(), materializedBytes, peak.Load(), res.Cycles)
+}

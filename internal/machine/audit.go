@@ -23,6 +23,12 @@ func (m *Machine) registerAuditors() {
 	m.checks.Register(m.memKind, check.NoCore, m.mem.Audit)
 	for i, c := range m.cores {
 		m.checks.Register("cpu", i, c.Audit)
+		// Streamed replay adds a memory-bound invariant per core: the
+		// cursor's decode ring must stay within the advertised chunk
+		// size, or "streaming" silently degrades to materializing.
+		if b, ok := c.Cursor().(interface{ AuditBounds() error }); ok {
+			m.checks.Register("stream", i, func(uint64) error { return b.AuditBounds() })
+		}
 	}
 	m.checks.Register("stats", check.NoCore, func(uint64) error { return m.auditStats() })
 	if m.shardStats != nil {

@@ -273,12 +273,21 @@ func (c Config) memConfig() mem.Config {
 	return hc
 }
 
-// New assembles a machine for the given trace. The trace must have been
-// generated against space and have at most cfg.NumCores threads.
+// New assembles a machine for the given materialized trace. The trace
+// must have been generated against space and have at most cfg.NumCores
+// threads.
 func New(cfg Config, space *memmap.AddressSpace, tr *trace.Trace) *Machine {
-	if tr.NumThreads() > cfg.NumCores {
+	return NewSource(cfg, space, tr)
+}
+
+// NewSource assembles a machine replaying any trace.Source — a
+// materialized *Trace or a streamed *trace.Stream. Replay is
+// byte-identical across source kinds: the cores consume the same record
+// sequence either way, only the window granularity differs.
+func NewSource(cfg Config, space *memmap.AddressSpace, src trace.Source) *Machine {
+	if src.NumThreads() > cfg.NumCores {
 		panic(fmt.Sprintf("machine: trace has %d threads but machine has %d cores",
-			tr.NumThreads(), cfg.NumCores))
+			src.NumThreads(), cfg.NumCores))
 	}
 	if err := cfg.Validate(); err != nil {
 		panic("machine: " + err.Error())
@@ -321,16 +330,16 @@ func New(cfg Config, space *memmap.AddressSpace, tr *trace.Trace) *Machine {
 		m.shardOf = make([]int, cfg.NumCores)
 	}
 	for c := 0; c < cfg.NumCores; c++ {
-		var stream []trace.Instr
-		if c < tr.NumThreads() {
-			stream = tr.Threads[c]
+		cur := trace.SliceCursor(nil)
+		if c < src.NumThreads() {
+			cur = src.Cursor(c)
 		}
 		cst := st
 		if m.shardStats != nil {
 			m.shardOf[c] = c % shards
 			cst = m.shardStats[m.shardOf[c]]
 		}
-		m.cores = append(m.cores, cpu.NewCore(c, cfg.CPU, m, stream, cst))
+		m.cores = append(m.cores, cpu.NewCoreCursor(c, cfg.CPU, m, cur, cst))
 	}
 	if cfg.Check != check.Off {
 		m.checks = check.NewRegistry(cfg.Check, cfg.CheckInterval)
@@ -635,4 +644,9 @@ func (m *Machine) result(now uint64) Result {
 // machine for cfg and replay tr.
 func RunTrace(cfg Config, space *memmap.AddressSpace, tr *trace.Trace) Result {
 	return New(cfg, space, tr).Run(0)
+}
+
+// RunSource is RunTrace for any trace.Source (materialized or streamed).
+func RunSource(cfg Config, space *memmap.AddressSpace, src trace.Source) Result {
+	return NewSource(cfg, space, src).Run(0)
 }

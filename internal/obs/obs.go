@@ -187,6 +187,10 @@ type EnvInfo struct {
 	// Shards is the in-simulation scheduler shard count (0/1 serial).
 	// Results are byte-identical at any value; recorded for provenance.
 	Shards int `json:"shards,omitempty"`
+	// Stream records whether traces were built through the streaming
+	// spill pipeline (DESIGN.md §13). Results are byte-identical either
+	// way; recorded for provenance like Shards.
+	Stream bool `json:"stream,omitempty"`
 	// NumCPU and Gomaxprocs record the host the run was produced on, so
 	// committed results (manifests, BENCH_*.json) carry machine
 	// provenance. Neither affects any simulated number.

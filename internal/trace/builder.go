@@ -12,6 +12,11 @@ import (
 type Builder struct {
 	space   *memmap.AddressSpace
 	threads [][]Instr
+
+	// Streaming mode (sw != nil): threads[t] is only the unflushed tail;
+	// buffers spill to sw as chunks once they reach chunk records.
+	sw    *StreamWriter
+	chunk int
 }
 
 // NewBuilder returns a Builder for numThreads logical threads emitting
@@ -24,6 +29,65 @@ func NewBuilder(space *memmap.AddressSpace, numThreads int) *Builder {
 		space:   space,
 		threads: make([][]Instr, numThreads),
 	}
+}
+
+// NewStreamingBuilder returns a Builder that spills records to sw in
+// chunks instead of materializing the trace: per-thread buffers flush as
+// chunks at sw's chunk size, and Barrier force-flushes every thread and
+// marks a checkpoint. The record sequence is byte-identical to what a
+// materializing Builder fed the same emissions produces — flushes retain
+// a trailing coalescible compute record so Compute merges across chunk
+// boundaries exactly as it does in a flat slice.
+func NewStreamingBuilder(space *memmap.AddressSpace, sw *StreamWriter) *Builder {
+	b := &Builder{
+		space:   space,
+		threads: make([][]Instr, sw.threads),
+		sw:      sw,
+		chunk:   sw.chunkCap,
+	}
+	for t := range b.threads {
+		b.threads[t] = sw.buffer()
+	}
+	return b
+}
+
+// Streaming reports whether the builder spills to a StreamWriter.
+func (b *Builder) Streaming() bool { return b.sw != nil }
+
+// flush spills thread t's buffered records as one chunk. Unless final, a
+// trailing flag-free, unsaturated compute record stays behind in the
+// fresh buffer: Compute coalesces into the last such record, so keeping
+// it live makes chunked emission produce the exact record sequence a
+// flat builder would.
+func (b *Builder) flush(t int, final bool) {
+	th := b.threads[t]
+	n := len(th)
+	keep := 0
+	if !final && n > 0 {
+		if last := th[n-1]; last.Kind == KindCompute && last.Flags == 0 && last.N < 65535 {
+			keep = 1
+		}
+	}
+	if n-keep == 0 {
+		return
+	}
+	next := append(b.sw.buffer(), th[n-keep:]...)
+	b.sw.chunk(t, th[:n-keep])
+	b.threads[t] = next
+}
+
+// Finalize flushes every residual buffer and completes the chunk log,
+// returning the replayable Stream (when sw writes to a spill file).
+// Streaming builders only; the builder must not be used afterwards.
+func (b *Builder) Finalize() (*Stream, error) {
+	if b.sw == nil {
+		panic("trace: Finalize on a materializing Builder")
+	}
+	for t := range b.threads {
+		b.flush(t, true)
+		b.threads[t] = nil
+	}
+	return b.sw.Finalize(b.space)
 }
 
 // NumThreads returns the logical thread count.
@@ -40,11 +104,24 @@ func (b *Builder) Barrier() {
 	for t := range b.threads {
 		b.threads[t] = append(b.threads[t], Instr{Kind: KindBarrier})
 	}
+	if b.sw != nil {
+		// Barriers are checkpoint boundaries: flush everything (the
+		// barrier is last, so nothing coalescible is pending) and mark
+		// the per-thread positions in the log.
+		for t := range b.threads {
+			b.flush(t, false)
+		}
+		b.sw.checkpoint()
+	}
 }
 
 // Build finalizes the trace. The Builder may continue to be used; Build
-// snapshots the current streams.
+// snapshots the current streams. Streaming builders cannot materialize —
+// use Finalize.
 func (b *Builder) Build() *Trace {
+	if b.sw != nil {
+		panic("trace: Build on a streaming Builder; use Finalize")
+	}
 	threads := make([][]Instr, len(b.threads))
 	for i, th := range b.threads {
 		cp := make([]Instr, len(th))
@@ -61,7 +138,11 @@ type Emitter struct {
 }
 
 func (e *Emitter) push(in Instr) {
-	e.b.threads[e.tid] = append(e.b.threads[e.tid], in)
+	b := e.b
+	b.threads[e.tid] = append(b.threads[e.tid], in)
+	if b.sw != nil && len(b.threads[e.tid]) >= b.chunk {
+		b.flush(e.tid, false)
+	}
 }
 
 // Compute emits a batch of n single-cycle ALU instructions. Batches larger

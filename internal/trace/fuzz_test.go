@@ -25,6 +25,23 @@ func FuzzRead(f *testing.F) {
 	flipped[9] ^= 0xFF
 	f.Add(flipped)
 
+	// v2 seeds: the chunked format shares the Read entry point, so the
+	// same fuzzer hardens its scanner (varint chunk headers, footer
+	// cross-checks) against the same mutations.
+	var buf2 bytes.Buffer
+	if err := WriteV2(&buf2, tr, sp); err != nil {
+		f.Fatal(err)
+	}
+	valid2 := buf2.Bytes()
+	f.Add(valid2)
+	f.Add([]byte("GPIMTRC2"))
+	f.Add(append([]byte(nil), valid2[:len(valid2)/2]...))
+	flipped2 := append([]byte(nil), valid2...)
+	flipped2[17] ^= 0xFF
+	f.Add(flipped2)
+	noFooter := append([]byte(nil), valid2[:len(valid2)-8]...)
+	f.Add(noFooter)
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, space, err := Read(bytes.NewReader(data))
 		if err != nil {
@@ -35,6 +52,16 @@ func FuzzRead(f *testing.F) {
 		}
 		if got.NumThreads() == 0 || got.NumThreads() > 1024 {
 			t.Fatalf("implausible thread count %d accepted", got.NumThreads())
+		}
+		// Every record of an accepted trace must be in-range: the machine
+		// indexes counter arrays by these fields, so an invalid record that
+		// slips through the parser is a replay panic waiting to happen.
+		for th := range got.Threads {
+			for i, in := range got.Threads[th] {
+				if err := validateInstr(in); err != nil {
+					t.Fatalf("thread %d record %d invalid after accept: %v", th, i, err)
+				}
+			}
 		}
 		// A successfully parsed trace must round-trip.
 		var buf bytes.Buffer

@@ -26,6 +26,30 @@ import (
 
 var traceMagic = [8]byte{'G', 'P', 'I', 'M', 'T', 'R', 'C', '1'}
 
+// flagMask is every defined Instr flag bit.
+const flagMask = FlagDepPrev | FlagRetUsed | FlagCASFail
+
+// validateInstr checks every enum-like field of a decoded record against
+// its defined range. Both trace formats reject invalid records at read
+// time: the machine indexes per-region counter arrays by Region and
+// switches on Kind, so a corrupt record must fail the load, not replay
+// as garbage (or panic) later.
+func validateInstr(in Instr) error {
+	if in.Kind > KindBarrier {
+		return fmt.Errorf("invalid kind %d", uint8(in.Kind))
+	}
+	if in.Atomic > AtomicComplex {
+		return fmt.Errorf("invalid atomic form %d", uint8(in.Atomic))
+	}
+	if in.Region > memmap.RegionProperty {
+		return fmt.Errorf("invalid region %d", uint8(in.Region))
+	}
+	if in.Flags&^flagMask != 0 {
+		return fmt.Errorf("invalid flags %#x", in.Flags)
+	}
+	return nil
+}
+
 // instrBytes encodes one record.
 func instrBytes(in Instr) [16]byte {
 	var b [16]byte
@@ -91,13 +115,18 @@ func Write(w io.Writer, tr *Trace, space *memmap.AddressSpace) error {
 	return bw.Flush()
 }
 
-// Read deserializes a trace written by Write, returning the trace and an
-// address space carrying the original PMR ranges.
+// Read deserializes a trace written by Write or WriteV2 (the magic
+// selects the format), returning the trace and an address space carrying
+// the original PMR ranges. Every record is validated; a corrupt file
+// yields a positioned error, never an invalid in-memory trace.
 func Read(r io.Reader) (*Trace, *memmap.AddressSpace, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	var magic [8]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return nil, nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if magic == traceMagicV2 {
+		return readV2(br)
 	}
 	if magic != traceMagic {
 		return nil, nil, fmt.Errorf("trace: bad magic %q", magic[:])
@@ -147,9 +176,39 @@ func Read(r io.Reader) (*Trace, *memmap.AddressSpace, error) {
 			if _, err := io.ReadFull(br, buf); err != nil {
 				return nil, nil, fmt.Errorf("trace: reading thread %d instr %d: %w", t, i, err)
 			}
-			stream = append(stream, instrFromBytes(buf))
+			if buf[15] != 0 {
+				return nil, nil, fmt.Errorf("trace: thread %d instr %d: nonzero pad byte %#x", t, i, buf[15])
+			}
+			in := instrFromBytes(buf)
+			if err := validateInstr(in); err != nil {
+				return nil, nil, fmt.Errorf("trace: thread %d instr %d: %w", t, i, err)
+			}
+			stream = append(stream, in)
 		}
 		tr.Threads[t] = stream
+	}
+	return tr, space, nil
+}
+
+// readV2 materializes a v2 chunk log (magic already consumed) into a
+// *Trace, reusing the streaming scanner for decoding and validation.
+func readV2(br io.Reader) (*Trace, *memmap.AddressSpace, error) {
+	tr := &Trace{}
+	sc, err := scanV2(br, func(t int, recs []Instr) {
+		for len(tr.Threads) <= t {
+			tr.Threads = append(tr.Threads, nil)
+		}
+		tr.Threads[t] = append(tr.Threads[t], recs...)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for len(tr.Threads) < len(sc.counts) {
+		tr.Threads = append(tr.Threads, nil)
+	}
+	space := memmap.NewAddressSpace()
+	for _, r := range sc.ranges {
+		space.RestoreUncacheable(r[0], r[1])
 	}
 	return tr, space, nil
 }
