@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench bench-json fuzz-short smoke-stream
+.PHONY: build vet test race bench bench-json fuzz-short smoke-stream smoke-graph
 
 build:
 	$(GO) build ./...
@@ -37,18 +37,18 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz '^FuzzRead$$' -fuzztime $(FUZZTIME) ./internal/trace/
 	$(GO) test -run '^$$' -fuzz '^FuzzBuilder$$' -fuzztime $(FUZZTIME) ./internal/trace/
 	$(GO) test -run '^$$' -fuzz '^FuzzReadEdgeList$$' -fuzztime $(FUZZTIME) ./internal/graph/
+	$(GO) test -run '^$$' -fuzz '^FuzzBuildStream$$' -fuzztime $(FUZZTIME) ./internal/graph/
 	$(GO) test -run '^$$' -fuzz '^FuzzLinkLaneReserve$$' -fuzztime $(FUZZTIME) ./internal/hmc/
 	$(GO) test -run '^$$' -fuzz '^FuzzTimeq$$' -fuzztime $(FUZZTIME) ./internal/cpu/
 
-# bench-json records the simulator throughput benchmarks (best of 3
-# reps) into the committed trajectory file BENCH_pr7.json under the
-# "after" phase, preserving the recorded "before" baseline. Run it after
-# a performance-relevant change and commit the updated file. The
-# trace-pipeline pair also records sampled peak heap (peak-bytes): the
-# streamed pipeline's before/after memory story lives in the same file.
+# bench-json records the graph-construction benchmark pair (best of 3
+# reps) into the committed trajectory file BENCH_pr8.json. Both arms
+# build the identical LDBC-1M graph; peak-bytes is the legacy
+# materialize-then-sort path vs the streaming two-pass build. Run it
+# after a performance-relevant change and commit the updated file.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_pr7.json -phase after \
-		-bench 'BenchmarkMachineRun|BenchmarkSimulatorThroughput|BenchmarkTracePipeline'
+	$(GO) run ./cmd/benchjson -out BENCH_pr8.json -phase after \
+		-bench 'BenchmarkGraphBuild'
 
 # smoke-stream runs the million-vertex streaming smoke test under a
 # constrained GC target: a 1M-vertex BFS traced through the spill
@@ -59,3 +59,16 @@ bench-json:
 smoke-stream:
 	GRAPHPIM_STREAM_SMOKE=1 GOMEMLIMIT=1GiB \
 		$(GO) test -run '^TestStreamSmoke$$' -v -timeout 30m ./internal/harness/
+
+# smoke-graph runs the paper-scale graph smokes. First the 11M-vertex
+# twitter-shaped build (Table VII: 11M/85M) under a GC target below the
+# would-be []Edge bytes (~1016MB): the streaming two-pass build's peak —
+# final CSR included — must fit where the old edge list alone would not
+# have. Then the LDBC-1M byte-identity check against the legacy builder,
+# which needs headroom for the legacy side's materialized edge list
+# (that being the point).
+smoke-graph:
+	GRAPHPIM_GRAPH_SMOKE=1 GOMEMLIMIT=950MiB \
+		$(GO) test -run '^TestGraphSmokeTwitter11M$$' -v -timeout 30m ./internal/graph/
+	GRAPHPIM_GRAPH_SMOKE=1 GOMEMLIMIT=6GiB \
+		$(GO) test -run '^TestStreamEquivalenceMillion$$' -v -timeout 30m ./internal/graph/

@@ -17,6 +17,7 @@ import (
 	"testing"
 	"time"
 
+	"graphpim/internal/graph"
 	"graphpim/internal/machine"
 	"graphpim/internal/memmap"
 	"graphpim/internal/sim"
@@ -323,4 +324,76 @@ func benchPipeline(b *testing.B, stream bool) {
 func BenchmarkTracePipeline(b *testing.B) {
 	b.Run("materialized", func(b *testing.B) { benchPipeline(b, false) })
 	b.Run("streamed", func(b *testing.B) { benchPipeline(b, true) })
+}
+
+// benchGraphBuild measures one LDBC-1M construction per iteration with
+// the heap sampled throughout. The legacy arm materializes the stream
+// into a Builder and runs the historical sort-and-scatter Build; the
+// streaming arm runs the two-pass BuildStream over the same stream. The
+// equivalence suite guarantees both arms produce identical graphs, so
+// peak-bytes is the whole story.
+func benchGraphBuild(b *testing.B, streaming bool) {
+	const vertices = 1 << 20
+
+	runtime.GC()
+	var peak atomic.Uint64
+	done := make(chan struct{})
+	sampled := make(chan struct{})
+	go func() {
+		defer close(sampled)
+		var ms runtime.MemStats
+		for {
+			runtime.ReadMemStats(&ms)
+			for {
+				p := peak.Load()
+				if ms.HeapAlloc <= p || peak.CompareAndSwap(p, ms.HeapAlloc) {
+					break
+				}
+			}
+			select {
+			case <-done:
+				return
+			case <-time.After(10 * time.Millisecond):
+			}
+		}
+	}()
+
+	var edges int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := StreamLDBC(vertices, 7)
+		var g *Graph
+		if streaming {
+			var err error
+			g, err = BuildGraphStream(s, true)
+			if err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			bld := graph.NewBuilder(vertices)
+			if err := s.Edges(func(src, dst VID, w uint32) bool {
+				bld.AddWeightedEdge(src, dst, w)
+				return true
+			}); err != nil {
+				b.Fatal(err)
+			}
+			g = bld.Build(true)
+		}
+		edges = g.NumEdges()
+	}
+	b.StopTimer()
+	close(done)
+	<-sampled
+	b.ReportMetric(float64(peak.Load()), "peak-bytes")
+	b.ReportMetric(float64(edges), "edges")
+}
+
+// BenchmarkGraphBuild is the before/after pair for the streaming
+// two-pass graph build at the LDBC-1M scale point (~29M raw edges):
+// same generator stream, same dedup, identical resulting graph; only
+// the construction path differs.
+func BenchmarkGraphBuild(b *testing.B) {
+	b.Run("legacy", func(b *testing.B) { benchGraphBuild(b, false) })
+	b.Run("streaming", func(b *testing.B) { benchGraphBuild(b, true) })
 }

@@ -36,20 +36,21 @@ func cmdGraphGen(args []string) {
 	vertices := fs.Int("vertices", 4096, "vertex count")
 	seed := fs.Uint64("seed", 7, "generator seed")
 	out := fs.String("o", "", "output edge-list file (default stdout)")
+	raw := fs.Bool("raw", false, "write the raw generator stream without building a CSR (no dedup/sort; O(1) memory at any scale)")
 	_ = fs.Parse(args)
 
-	var g *graphpim.Graph
+	var s graphpim.EdgeStream
 	switch *kind {
 	case "ldbc":
-		g = graphpim.GenerateLDBC(*vertices, *seed)
+		s = graphpim.StreamLDBC(*vertices, *seed)
 	case "rmat":
-		g = graphpim.GenerateRMAT(*vertices, 16, 0.57, 0.19, 0.19, *seed)
+		s = graphpim.StreamRMAT(*vertices, 16, 0.57, 0.19, 0.19, *seed)
 	case "er":
-		g = graphpim.GenerateErdosRenyi(*vertices, 8, *seed)
+		s = graphpim.StreamErdosRenyi(*vertices, 8, *seed)
 	case "bitcoin":
-		g = graphpim.GenerateBitcoinLike(*vertices, *seed)
+		s = graphpim.StreamBitcoinLike(*vertices, *seed)
 	case "twitter":
-		g = graphpim.GenerateTwitterLike(*vertices, *seed)
+		s = graphpim.StreamTwitterLike(*vertices, *seed)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown graph kind %q\n", *kind)
 		os.Exit(2)
@@ -64,6 +65,23 @@ func cmdGraphGen(args []string) {
 		}
 		defer f.Close()
 		w = f
+	}
+	if *raw {
+		if err := graph.WriteEdgeListStream(w, s); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *out != "" {
+			fmt.Fprintf(os.Stderr, "wrote %s: raw %s stream, %d vertices\n", *out, *kind, s.NumVertices())
+		}
+		return
+	}
+	// Dedup matches the generators' Graph constructors: every kind
+	// dedups except bitcoin (parallel transactions are meaningful).
+	g, err := graphpim.BuildGraphStream(s, *kind != "bitcoin")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 	if err := graph.WriteEdgeList(w, g); err != nil {
 		fmt.Fprintln(os.Stderr, err)

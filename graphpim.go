@@ -57,6 +57,10 @@ type (
 	Table = harness.Table
 	// Env is the experiment environment (scale, caching).
 	Env = harness.Env
+	// EdgeStream is a deterministic, re-runnable edge source; the
+	// streaming two-pass builder consumes one twice (degree counting,
+	// then scatter) so no edge list is ever materialized.
+	EdgeStream = graph.EdgeStream
 )
 
 // Workload functional-output types (returned by Run.ExecuteFull).
@@ -112,6 +116,23 @@ var (
 	// SaveEdgeList writes one.
 	LoadEdgeList = graph.ReadEdgeList
 	SaveEdgeList = graph.WriteEdgeList
+)
+
+// Streaming graph construction (DESIGN.md §14). Stream* constructors
+// return the generators' EdgeStream form; BuildGraphStream runs the
+// two-pass builder, whose peak memory is the final CSR itself — byte-
+// identical to the materialized Generate* path. StreamEdgeList wraps
+// edge-list text (re-seeking each pass when the reader is seekable);
+// SaveEdgeListStream serializes a stream without ever building a graph.
+var (
+	StreamLDBC         = graph.LDBCStream
+	StreamBitcoinLike  = graph.BitcoinLikeStream
+	StreamTwitterLike  = graph.TwitterLikeStream
+	StreamRMAT         = graph.RMATStream
+	StreamErdosRenyi   = graph.ErdosRenyiStream
+	StreamEdgeList     = graph.NewEdgeListStream
+	BuildGraphStream   = graph.BuildStream
+	SaveEdgeListStream = graph.WriteEdgeListStream
 )
 
 // Workload constructors (the GraphBIG suite of Table III).

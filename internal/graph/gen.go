@@ -8,7 +8,57 @@ import (
 
 // The generators below stand in for the paper's input datasets. Each is
 // deterministic for a given seed so that traces — and therefore simulation
-// results — are exactly reproducible.
+// results — are exactly reproducible. Every generator is an EdgeStream:
+// Edges re-seeds its PRNG on each call, so BuildStream's two passes see
+// the identical edge sequence, and generation state is O(1) — the only
+// O(V+E) memory a build touches is the final CSR itself.
+
+// rmatNoiseSalt separates the per-level noise PRNG from the edge PRNG so
+// the noise is a fixed function of the seed, not of how many edges have
+// been drawn.
+const rmatNoiseSalt = 0x5eed4f0b1a7e55ed
+
+// endpointReservoir is the slot count of endpointSample, the bounded
+// endpoint pool the preferential-attachment generators draw from.
+const endpointReservoir = 1024
+
+// endpointSample is a bounded uniform sample of the endpoint history
+// (reservoir sampling, Algorithm R): add appends until the slots fill,
+// then replaces a uniformly random slot with probability len/seen, so
+// at every point each endpoint ever added is equally likely to occupy
+// each slot. draw therefore follows the same rich-get-richer
+// distribution the legacy generators got from drawing out of an
+// unbounded append-only endpoint slice, in O(1) memory: a vertex holds
+// slots in proportion to its share of the history, and early seeds
+// dilute as the history grows exactly as the unbounded slice diluted
+// them. (A pinned-slot scheme is no substitute: permanently reserving
+// slots for the seed hubs concentrates a constant fraction of all
+// edges on them forever, which collapses the twitter-like graph's
+// working set into the LLC and flattens the Fig. 17 speedup.)
+type endpointSample struct {
+	r    *sim.Rand
+	res  []VID
+	seen int
+}
+
+func newEndpointSample(r *sim.Rand) *endpointSample {
+	return &endpointSample{r: r, res: make([]VID, 0, endpointReservoir)}
+}
+
+func (s *endpointSample) add(v VID) {
+	s.seen++
+	if len(s.res) < cap(s.res) {
+		s.res = append(s.res, v)
+		return
+	}
+	if j := s.r.Intn(s.seen); j < len(s.res) {
+		s.res[j] = v
+	}
+}
+
+func (s *endpointSample) draw() VID {
+	return s.res[s.r.Intn(len(s.res))]
+}
 
 // LDBC generates a scale-free social-network-like graph in the spirit of
 // the LDBC SNB data generator used by the paper (Table VI). It follows the
@@ -17,13 +67,40 @@ import (
 // with an average out-degree of ~29 matching Table VI's vertex/edge
 // ratios (1M vertices / 28.8M edges).
 func LDBC(vertices int, seed uint64) *Graph {
-	return RMAT(vertices, 29, 0.45, 0.22, 0.22, seed)
+	return mustBuildStream(LDBCStream(vertices, seed), true)
+}
+
+// LDBCStream is the EdgeStream form of LDBC.
+func LDBCStream(vertices int, seed uint64) EdgeStream {
+	return RMATStream(vertices, 29, 0.45, 0.22, 0.22, seed)
 }
 
 // RMAT generates an R-MAT graph over the next power of two of vertices,
 // then folds labels back into range. a, b, c are the quadrant
 // probabilities (d = 1-a-b-c). edgeFactor is edges per vertex.
 func RMAT(vertices, edgeFactor int, a, b, c float64, seed uint64) *Graph {
+	return mustBuildStream(RMATStream(vertices, edgeFactor, a, b, c, seed), true)
+}
+
+// rmatStream generates R-MAT edges on the fly. The per-level quadrant
+// thresholds are perturbed once at construction (seeded noise), then
+// each Edges call replays the same recursive-quadrant walk from a fresh
+// PRNG at the same seed.
+type rmatStream struct {
+	vertices   int
+	edgeFactor int
+	levels     int
+	seed       uint64
+	// Cumulative quadrant thresholds per level: p < ta[l] is top-left,
+	// p < tab[l] top-right, p < tabc[l] bottom-left, else bottom-right.
+	ta, tab, tabc []float64
+}
+
+// RMATStream is the EdgeStream form of RMAT. Each recursion level's
+// quadrant probabilities are perturbed by seeded ±10% noise so the graph
+// is not perfectly self-similar (as real R-MAT generators do); the noise
+// is a pure function of the seed, so the stream stays re-runnable.
+func RMATStream(vertices, edgeFactor int, a, b, c float64, seed uint64) EdgeStream {
 	if vertices <= 1 {
 		panic(fmt.Sprintf("graph: RMAT needs at least 2 vertices, got %d", vertices))
 	}
@@ -34,55 +111,100 @@ func RMAT(vertices, edgeFactor int, a, b, c float64, seed uint64) *Graph {
 	for 1<<uint(levels) < vertices {
 		levels++
 	}
-	r := sim.NewRand(seed)
-	bld := NewBuilder(vertices)
-	numEdges := vertices * edgeFactor
+	s := &rmatStream{
+		vertices:   vertices,
+		edgeFactor: edgeFactor,
+		levels:     levels,
+		seed:       seed,
+		ta:         make([]float64, levels),
+		tab:        make([]float64, levels),
+		tabc:       make([]float64, levels),
+	}
+	d := 1 - a - b - c
+	rn := sim.NewRand(seed ^ rmatNoiseSalt)
+	for l := 0; l < levels; l++ {
+		na := a * (0.9 + 0.2*rn.Float64())
+		nb := b * (0.9 + 0.2*rn.Float64())
+		nc := c * (0.9 + 0.2*rn.Float64())
+		nd := d * (0.9 + 0.2*rn.Float64())
+		norm := na + nb + nc + nd
+		s.ta[l] = na / norm
+		s.tab[l] = (na + nb) / norm
+		s.tabc[l] = (na + nb + nc) / norm
+	}
+	return s
+}
+
+func (s *rmatStream) NumVertices() int { return s.vertices }
+
+func (s *rmatStream) Edges(emit func(src, dst VID, w uint32) bool) error {
+	r := sim.NewRand(s.seed)
+	numEdges := s.vertices * s.edgeFactor
 	for i := 0; i < numEdges; i++ {
 		src, dst := 0, 0
-		for l := 0; l < levels; l++ {
+		for l := 0; l < s.levels; l++ {
 			p := r.Float64()
-			// Add per-level noise so the graph is not perfectly
-			// self-similar (as real generators do).
 			switch {
-			case p < a:
+			case p < s.ta[l]:
 				// top-left: nothing to add
-			case p < a+b:
+			case p < s.tab[l]:
 				dst |= 1 << uint(l)
-			case p < a+b+c:
+			case p < s.tabc[l]:
 				src |= 1 << uint(l)
 			default:
 				src |= 1 << uint(l)
 				dst |= 1 << uint(l)
 			}
 		}
-		src %= vertices
-		dst %= vertices
+		src %= s.vertices
+		dst %= s.vertices
 		if src == dst {
-			dst = (dst + 1) % vertices
+			dst = (dst + 1) % s.vertices
 		}
 		w := uint32(r.Intn(63) + 1)
-		bld.AddWeightedEdge(VID(src), VID(dst), w)
+		if !emit(VID(src), VID(dst), w) {
+			return nil
+		}
 	}
-	return bld.Build(true)
+	return nil
 }
 
 // ErdosRenyi generates a uniform random graph with the given average
 // out-degree.
 func ErdosRenyi(vertices, avgDegree int, seed uint64) *Graph {
+	return mustBuildStream(ErdosRenyiStream(vertices, avgDegree, seed), true)
+}
+
+// erdosRenyiStream generates uniform random edges on the fly.
+type erdosRenyiStream struct {
+	vertices  int
+	avgDegree int
+	seed      uint64
+}
+
+// ErdosRenyiStream is the EdgeStream form of ErdosRenyi.
+func ErdosRenyiStream(vertices, avgDegree int, seed uint64) EdgeStream {
 	if vertices <= 1 {
 		panic("graph: ErdosRenyi needs at least 2 vertices")
 	}
-	r := sim.NewRand(seed)
-	bld := NewBuilder(vertices)
-	for i := 0; i < vertices*avgDegree; i++ {
-		src := r.Intn(vertices)
-		dst := r.Intn(vertices)
+	return &erdosRenyiStream{vertices: vertices, avgDegree: avgDegree, seed: seed}
+}
+
+func (s *erdosRenyiStream) NumVertices() int { return s.vertices }
+
+func (s *erdosRenyiStream) Edges(emit func(src, dst VID, w uint32) bool) error {
+	r := sim.NewRand(s.seed)
+	for i := 0; i < s.vertices*s.avgDegree; i++ {
+		src := r.Intn(s.vertices)
+		dst := r.Intn(s.vertices)
 		if src == dst {
-			dst = (dst + 1) % vertices
+			dst = (dst + 1) % s.vertices
 		}
-		bld.AddWeightedEdge(VID(src), VID(dst), uint32(r.Intn(63)+1))
+		if !emit(VID(src), VID(dst), uint32(r.Intn(63)+1)) {
+			return nil
+		}
 	}
-	return bld.Build(true)
+	return nil
 }
 
 // BitcoinLike generates a transaction graph shaped like the Bitcoin graph
@@ -91,90 +213,137 @@ func ErdosRenyi(vertices, avgDegree int, seed uint64) *Graph {
 // participates in a large share of transactions, the rest follow
 // preferential attachment, and fraud-ring-like short cycles are planted.
 func BitcoinLike(vertices int, seed uint64) *Graph {
+	return mustBuildStream(BitcoinLikeStream(vertices, seed), false)
+}
+
+// bitcoinStream generates transaction edges from a bounded endpoint
+// reservoir instead of the historical unbounded endpoint list (whose
+// capacity hint also under-allocated, regrowing a multi-hundred-MB slice
+// at paper scale).
+type bitcoinStream struct {
+	vertices int
+	seed     uint64
+}
+
+// BitcoinLikeStream is the EdgeStream form of BitcoinLike.
+func BitcoinLikeStream(vertices int, seed uint64) EdgeStream {
 	if vertices < 16 {
 		panic("graph: BitcoinLike needs at least 16 vertices")
 	}
-	r := sim.NewRand(seed)
-	bld := NewBuilder(vertices)
+	return &bitcoinStream{vertices: vertices, seed: seed}
+}
+
+func (s *bitcoinStream) NumVertices() int { return s.vertices }
+
+func (s *bitcoinStream) Edges(emit func(src, dst VID, w uint32) bool) error {
+	r := sim.NewRand(s.seed)
 	// The real graph has ~2.5 edges per vertex (181.8M/71.7M).
-	numEdges := vertices * 5 / 2
-	hubs := vertices / 100
+	numEdges := s.vertices * 5 / 2
+	hubs := s.vertices / 100
 	if hubs < 4 {
 		hubs = 4
 	}
-	// Repeated-endpoint array for preferential attachment.
-	endpoints := make([]VID, 0, numEdges*2)
+	// Seed exchanges heavily so they stay hubs while the endpoint
+	// sample is small (the real graph's exchanges touch a large share
+	// of all transactions); each edge then feeds both endpoints back
+	// into the sample for preferential attachment.
+	ep := newEndpointSample(r)
 	for v := 0; v < hubs; v++ {
-		// Seed exchanges heavily so they stay hubs as the endpoint pool
-		// grows (the real graph's exchanges touch a large share of all
-		// transactions).
 		for k := 0; k < 24; k++ {
-			endpoints = append(endpoints, VID(v))
+			ep.add(VID(v))
 		}
 	}
 	for i := 0; i < numEdges; i++ {
 		var src, dst VID
-		if r.Intn(4) == 0 && len(endpoints) > 0 {
-			src = endpoints[r.Intn(len(endpoints))]
+		if r.Intn(4) == 0 {
+			src = ep.draw()
 		} else {
-			src = VID(r.Intn(vertices))
+			src = VID(r.Intn(s.vertices))
 		}
-		if r.Intn(3) == 0 && len(endpoints) > 0 {
-			dst = endpoints[r.Intn(len(endpoints))]
+		if r.Intn(3) == 0 {
+			dst = ep.draw()
 		} else {
-			dst = VID(r.Intn(vertices))
+			dst = VID(r.Intn(s.vertices))
 		}
 		if src == dst {
-			dst = VID((int(dst) + 1) % vertices)
+			dst = VID((int(dst) + 1) % s.vertices)
 		}
-		bld.AddWeightedEdge(src, dst, uint32(r.Intn(1000)+1))
-		endpoints = append(endpoints, src, dst)
+		w := uint32(r.Intn(1000) + 1)
+		ep.add(src)
+		ep.add(dst)
+		if !emit(src, dst, w) {
+			return nil
+		}
 	}
 	// Fraud rings: short cycles of 3..6 accounts moving funds around.
-	rings := vertices / 200
+	rings := s.vertices / 200
+	var members [6]VID
 	for i := 0; i < rings; i++ {
 		size := 3 + r.Intn(4)
-		members := make([]VID, size)
-		for j := range members {
-			members[j] = VID(r.Intn(vertices))
+		for j := 0; j < size; j++ {
+			members[j] = VID(r.Intn(s.vertices))
 		}
-		for j := range members {
-			bld.AddWeightedEdge(members[j], members[(j+1)%size], uint32(r.Intn(100)+900))
+		for j := 0; j < size; j++ {
+			if !emit(members[j], members[(j+1)%size], uint32(r.Intn(100)+900)) {
+				return nil
+			}
 		}
 	}
-	return bld.Build(false)
+	return nil
 }
 
 // TwitterLike generates a follower graph shaped like the Twitter dataset
 // of the recommender-system application: a heavy-tailed in-degree
 // distribution via preferential attachment (celebrities accumulate
-// followers) over ~7.7 edges per vertex (85M/11M).
+// followers) over ~7.7 edges per vertex (85M/11M). All edges carry
+// weight 1, so the built graph takes the uniform-weight representation.
 func TwitterLike(vertices int, seed uint64) *Graph {
+	return mustBuildStream(TwitterLikeStream(vertices, seed), true)
+}
+
+// twitterStream generates follower edges from a bounded target reservoir.
+type twitterStream struct {
+	vertices int
+	seed     uint64
+}
+
+// TwitterLikeStream is the EdgeStream form of TwitterLike.
+func TwitterLikeStream(vertices int, seed uint64) EdgeStream {
 	if vertices < 16 {
 		panic("graph: TwitterLike needs at least 16 vertices")
 	}
-	r := sim.NewRand(seed)
-	bld := NewBuilder(vertices)
-	numEdges := vertices * 77 / 10
-	targets := make([]VID, 0, numEdges)
+	return &twitterStream{vertices: vertices, seed: seed}
+}
+
+func (s *twitterStream) NumVertices() int { return s.vertices }
+
+func (s *twitterStream) Edges(emit func(src, dst VID, w uint32) bool) error {
+	r := sim.NewRand(s.seed)
+	numEdges := s.vertices * 77 / 10
+	// Target sample seeded with the 8 celebrity accounts; every follow
+	// target feeds back into the sample, so celebrities accumulate
+	// followers early and real accounts grow into the tail.
+	ep := newEndpointSample(r)
 	for v := 0; v < 8; v++ {
-		targets = append(targets, VID(v))
+		ep.add(VID(v))
 	}
 	for i := 0; i < numEdges; i++ {
-		src := VID(r.Intn(vertices))
+		src := VID(r.Intn(s.vertices))
 		var dst VID
 		if r.Intn(2) == 0 {
-			dst = targets[r.Intn(len(targets))]
+			dst = ep.draw()
 		} else {
-			dst = VID(r.Intn(vertices))
+			dst = VID(r.Intn(s.vertices))
 		}
 		if src == dst {
-			dst = VID((int(dst) + 1) % vertices)
+			dst = VID((int(dst) + 1) % s.vertices)
 		}
-		bld.AddEdge(src, dst)
-		targets = append(targets, dst)
+		ep.add(dst)
+		if !emit(src, dst, 1) {
+			return nil
+		}
 	}
-	return bld.Build(true)
+	return nil
 }
 
 // LDBCSizes mirrors Table VI: the four dataset sizes the sensitivity

@@ -29,7 +29,16 @@ type Graph struct {
 	// Out-CSR.
 	outPtr []uint64
 	outDst []VID
-	outW   []uint32
+	// outW holds per-edge weights, parallel to outDst. It is nil when
+	// every edge carries the same weight (the uniformWeight fast path):
+	// unweighted graphs then cost 4 bytes/edge less, and OutWeights
+	// serves windows of uniformBuf instead.
+	outW     []uint32
+	uniformW uint32
+	// uniformBuf is a read-only run of uniformW values at least as long
+	// as the maximum out-degree, so OutWeights can return an aliased
+	// window of the right length without allocating.
+	uniformBuf []uint32
 
 	// In-CSR.
 	inPtr []uint64
@@ -59,9 +68,23 @@ func (g *Graph) OutNeighbors(v VID) []VID {
 }
 
 // OutWeights returns the weights of v's out-edges, parallel to
-// OutNeighbors.
+// OutNeighbors. For uniform-weight graphs the returned slice aliases a
+// shared constant buffer; in all cases it must not be modified.
 func (g *Graph) OutWeights(v VID) []uint32 {
+	if g.outW == nil {
+		return g.uniformBuf[:g.outPtr[v+1]-g.outPtr[v]]
+	}
 	return g.outW[g.outPtr[v]:g.outPtr[v+1]]
+}
+
+// UniformWeight reports whether every edge carries the same weight (the
+// representation then stores no per-edge weight array) and, if so, that
+// weight. An edgeless graph is uniform with weight 1.
+func (g *Graph) UniformWeight() (uint32, bool) {
+	if g.outW != nil {
+		return 0, false
+	}
+	return g.uniformW, true
 }
 
 // InNeighbors returns the sources of v's in-edges. The slice aliases
@@ -106,6 +129,13 @@ func (b *Builder) NumEdges() int { return len(b.edges) }
 // edges are dropped when dedup is true. Build does not disturb the
 // builder: it sorts (and dedups) a copy of the edge list, so NumEdges
 // stays truthful afterwards and AddEdge-then-rebuild keeps working.
+//
+// Edges are ordered by (Src, Dst, Weight) — a total order, so the
+// result is a fully specified function of the edge multiset and dedup
+// keeps the minimum-weight copy of each parallel edge (the SSSP-relevant
+// one). Build is the executable specification the streaming BuildStream
+// is gated against (the machine.runScan pattern): the equivalence suite
+// asserts both produce identical CSR arrays for every generator.
 func (b *Builder) Build(dedup bool) *Graph {
 	edges := make([]Edge, len(b.edges))
 	copy(edges, b.edges)
@@ -113,7 +143,10 @@ func (b *Builder) Build(dedup bool) *Graph {
 		if edges[i].Src != edges[j].Src {
 			return edges[i].Src < edges[j].Src
 		}
-		return edges[i].Dst < edges[j].Dst
+		if edges[i].Dst != edges[j].Dst {
+			return edges[i].Dst < edges[j].Dst
+		}
+		return edges[i].Weight < edges[j].Weight
 	})
 	if dedup {
 		out := edges[:0]
@@ -126,11 +159,23 @@ func (b *Builder) Build(dedup bool) *Graph {
 		edges = out
 	}
 
+	uniform, uw := true, uint32(1)
+	for i, e := range edges {
+		if i == 0 {
+			uw = e.Weight
+		} else if e.Weight != uw {
+			uniform = false
+			break
+		}
+	}
+
 	g := &Graph{numVertices: b.numVertices}
 	n := b.numVertices
 	g.outPtr = make([]uint64, n+1)
 	g.outDst = make([]VID, len(edges))
-	g.outW = make([]uint32, len(edges))
+	if !uniform {
+		g.outW = make([]uint32, len(edges))
+	}
 	for _, e := range edges {
 		g.outPtr[e.Src+1]++
 	}
@@ -141,7 +186,9 @@ func (b *Builder) Build(dedup bool) *Graph {
 	for _, e := range edges {
 		idx := g.outPtr[e.Src] + fill[e.Src]
 		g.outDst[idx] = e.Dst
-		g.outW[idx] = e.Weight
+		if !uniform {
+			g.outW[idx] = e.Weight
+		}
 		fill[e.Src]++
 	}
 
@@ -162,7 +209,28 @@ func (b *Builder) Build(dedup bool) *Graph {
 		g.inSrc[idx] = e.Src
 		fill[e.Dst]++
 	}
+	if uniform {
+		g.setUniform(uw)
+	}
 	return g
+}
+
+// setUniform switches g to the uniform-weight representation: outW is
+// dropped and OutWeights serves windows of a shared buffer sized to the
+// maximum out-degree. Must be called after outPtr is final.
+func (g *Graph) setUniform(w uint32) {
+	g.outW = nil
+	g.uniformW = w
+	var maxDeg uint64
+	for v := 0; v < g.numVertices; v++ {
+		if d := g.outPtr[v+1] - g.outPtr[v]; d > maxDeg {
+			maxDeg = d
+		}
+	}
+	g.uniformBuf = make([]uint32, maxDeg)
+	for i := range g.uniformBuf {
+		g.uniformBuf[i] = w
+	}
 }
 
 // Validate checks CSR well-formedness; tests and generators call it.
@@ -196,12 +264,45 @@ func (g *Graph) Validate() error {
 	if len(g.outDst) != len(g.inSrc) {
 		return fmt.Errorf("graph: out/in edge count mismatch %d != %d", len(g.outDst), len(g.inSrc))
 	}
+	// Weight storage: either a full parallel array or the uniform
+	// buffer, which must cover the maximum out-degree.
+	if g.outW != nil {
+		if len(g.outW) != len(g.outDst) {
+			return fmt.Errorf("graph: weight array length %d != edge count %d", len(g.outW), len(g.outDst))
+		}
+	} else {
+		var maxDeg uint64
+		for v := 0; v < n; v++ {
+			if d := g.outPtr[v+1] - g.outPtr[v]; d > maxDeg {
+				maxDeg = d
+			}
+		}
+		if uint64(len(g.uniformBuf)) < maxDeg {
+			return fmt.Errorf("graph: uniform weight buffer %d shorter than max out-degree %d",
+				len(g.uniformBuf), maxDeg)
+		}
+	}
 	return nil
 }
 
 // StructureBytes estimates the memory footprint of the CSR structure,
-// used for Table VI reporting.
+// used for Table VI reporting. Uniform-weight graphs carry no per-edge
+// weight array, only the shared max-degree buffer.
 func (g *Graph) StructureBytes() uint64 {
 	return uint64(len(g.outPtr))*8 + uint64(len(g.outDst))*4 + uint64(len(g.outW))*4 +
+		uint64(len(g.uniformBuf))*4 +
 		uint64(len(g.inPtr))*8 + uint64(len(g.inSrc))*4
+}
+
+// EstimateCSRBytes is the closed-form StructureBytes of a CSR over the
+// given vertex and directed-edge counts: both pointer arrays, both
+// adjacency arrays, and (for weighted graphs) the per-edge weight array.
+// Table VI uses it to project paper-scale footprints without building
+// the graphs.
+func EstimateCSRBytes(vertices, edges uint64, weighted bool) uint64 {
+	b := 2*(vertices+1)*8 + 2*edges*4
+	if weighted {
+		b += edges * 4
+	}
+	return b
 }

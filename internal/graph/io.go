@@ -2,6 +2,7 @@ package graph
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"strconv"
@@ -32,6 +33,32 @@ func WriteEdgeList(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
+// WriteEdgeListStream serializes a stream as an edge-list without
+// building (or holding) a graph: pass 1 counts edges for the header,
+// pass 2 writes lines. The edge count in the header is the raw stream
+// count (pre-dedup); readers treat it as descriptive.
+func WriteEdgeListStream(w io.Writer, s EdgeStream) error {
+	var m uint64
+	if err := s.Edges(func(_, _ VID, _ uint32) bool { m++; return true }); err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := fmt.Fprintf(bw, "# vertices: %d\n# edges: %d\n", s.NumVertices(), m); err != nil {
+		return err
+	}
+	var werr error
+	if err := s.Edges(func(src, dst VID, wt uint32) bool {
+		_, werr = fmt.Fprintf(bw, "%d %d %d\n", src, dst, wt)
+		return werr == nil
+	}); err != nil {
+		return err
+	}
+	if werr != nil {
+		return werr
+	}
+	return bw.Flush()
+}
+
 // MaxEdgeListVertices bounds the vertex count ReadEdgeList accepts
 // (sparse ids in a text file directly size the CSR arrays, so an
 // adversarial or corrupt line like "4294967295 0" must not trigger a
@@ -39,20 +66,13 @@ func WriteEdgeList(w io.Writer, g *Graph) error {
 // largest graph (71.7M vertices).
 const MaxEdgeListVertices = 1 << 27
 
-// ReadEdgeList parses an edge-list and builds a graph. Duplicate edges
-// are preserved unless dedup is true.
-func ReadEdgeList(r io.Reader, dedup bool) (*Graph, error) {
+// parseEdgeList makes one scanning pass over an edge-list, calling edge
+// for every edge line (nil to just gather stats; returning false stops
+// the scan early). It returns the "# vertices: N" header value and line
+// (0 if absent), the largest vertex id referenced, and the edge count.
+func parseEdgeList(r io.Reader, edge func(src, dst uint64, w uint32) bool) (declared uint64, declaredLine int, maxID uint64, count uint64, err error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
-
-	type rawEdge struct {
-		src, dst uint64
-		w        uint32
-	}
-	var edges []rawEdge
-	var maxID uint64
-	var declared uint64
-	declaredLine := 0
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -67,9 +87,9 @@ func ReadEdgeList(r io.Reader, dedup bool) (*Graph, error) {
 			// and silently (mis)set the count.
 			body := strings.TrimSpace(strings.TrimLeft(line, "#% \t"))
 			if rest, ok := strings.CutPrefix(body, "vertices:"); ok {
-				n, err := strconv.ParseUint(strings.TrimSpace(rest), 10, 32)
-				if err != nil {
-					return nil, fmt.Errorf("graph: line %d: bad vertex-count header %q: %w", lineNo, line, err)
+				n, perr := strconv.ParseUint(strings.TrimSpace(rest), 10, 32)
+				if perr != nil {
+					return 0, 0, 0, 0, fmt.Errorf("graph: line %d: bad vertex-count header %q: %w", lineNo, line, perr)
 				}
 				declared = n
 				declaredLine = lineNo
@@ -78,21 +98,21 @@ func ReadEdgeList(r io.Reader, dedup bool) (*Graph, error) {
 		}
 		fields := strings.Fields(line)
 		if len(fields) < 2 {
-			return nil, fmt.Errorf("graph: line %d: need at least src and dst, got %q", lineNo, line)
+			return 0, 0, 0, 0, fmt.Errorf("graph: line %d: need at least src and dst, got %q", lineNo, line)
 		}
-		src, err := strconv.ParseUint(fields[0], 10, 32)
-		if err != nil {
-			return nil, fmt.Errorf("graph: line %d: bad src %q: %w", lineNo, fields[0], err)
+		src, perr := strconv.ParseUint(fields[0], 10, 32)
+		if perr != nil {
+			return 0, 0, 0, 0, fmt.Errorf("graph: line %d: bad src %q: %w", lineNo, fields[0], perr)
 		}
-		dst, err := strconv.ParseUint(fields[1], 10, 32)
-		if err != nil {
-			return nil, fmt.Errorf("graph: line %d: bad dst %q: %w", lineNo, fields[1], err)
+		dst, perr := strconv.ParseUint(fields[1], 10, 32)
+		if perr != nil {
+			return 0, 0, 0, 0, fmt.Errorf("graph: line %d: bad dst %q: %w", lineNo, fields[1], perr)
 		}
 		w := uint64(1)
 		if len(fields) >= 3 {
-			w, err = strconv.ParseUint(fields[2], 10, 32)
-			if err != nil {
-				return nil, fmt.Errorf("graph: line %d: bad weight %q: %w", lineNo, fields[2], err)
+			w, perr = strconv.ParseUint(fields[2], 10, 32)
+			if perr != nil {
+				return 0, 0, 0, 0, fmt.Errorf("graph: line %d: bad weight %q: %w", lineNo, fields[2], perr)
 			}
 		}
 		if src > maxID {
@@ -101,13 +121,52 @@ func ReadEdgeList(r io.Reader, dedup bool) (*Graph, error) {
 		if dst > maxID {
 			maxID = dst
 		}
-		edges = append(edges, rawEdge{src, dst, uint32(w)})
+		count++
+		if edge != nil && !edge(src, dst, uint32(w)) {
+			break
+		}
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("graph: reading edge list: %w", err)
+	if serr := sc.Err(); serr != nil {
+		return 0, 0, 0, 0, fmt.Errorf("graph: reading edge list: %w", serr)
+	}
+	return declared, declaredLine, maxID, count, nil
+}
+
+// EdgeListStream is a re-runnable EdgeStream over edge-list text. Each
+// Edges call re-seeks and re-parses, so building from a file never holds
+// more than the scanner's buffer — the text itself is the edge storage.
+type EdgeListStream struct {
+	rs    io.ReadSeeker
+	start int64
+	n     int
+	raw   uint64
+}
+
+// NewEdgeListStream validates an edge-list with one scanning pass (all
+// parse errors surface here, with line numbers) and returns a stream
+// over it. If r is an io.ReadSeeker (files, bytes/strings readers), each
+// pass re-seeks to the current position and re-reads; otherwise the
+// remaining input is buffered in memory once — still only the raw text,
+// never a parsed []Edge.
+func NewEdgeListStream(r io.Reader) (*EdgeListStream, error) {
+	rs, ok := r.(io.ReadSeeker)
+	if !ok {
+		data, err := io.ReadAll(r)
+		if err != nil {
+			return nil, fmt.Errorf("graph: reading edge list: %w", err)
+		}
+		rs = bytes.NewReader(data)
+	}
+	start, err := rs.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return nil, fmt.Errorf("graph: edge list source is not seekable: %w", err)
+	}
+	declared, declaredLine, maxID, count, err := parseEdgeList(rs, nil)
+	if err != nil {
+		return nil, err
 	}
 	n := maxID + 1
-	if declaredLine > 0 && len(edges) > 0 && declared < n {
+	if declaredLine > 0 && count > 0 && declared < n {
 		// A header smaller than the ids actually seen is a corrupt or
 		// mislabeled file; silently ignoring it would hide truncation.
 		return nil, fmt.Errorf("graph: line %d: header declares %d vertices but edges reference id %d",
@@ -122,9 +181,36 @@ func ReadEdgeList(r io.Reader, dedup bool) (*Graph, error) {
 	if n > MaxEdgeListVertices {
 		return nil, fmt.Errorf("graph: vertex id space %d exceeds limit %d", n, MaxEdgeListVertices)
 	}
-	b := NewBuilder(int(n))
-	for _, e := range edges {
-		b.AddWeightedEdge(VID(e.src), VID(e.dst), e.w)
+	return &EdgeListStream{rs: rs, start: start, n: int(n), raw: count}, nil
+}
+
+// NumVertices returns the vertex count (max id + 1, or the header value
+// if larger, floor 2).
+func (s *EdgeListStream) NumVertices() int { return s.n }
+
+// RawEdges returns the edge-line count of the validating scan — the
+// pre-dedup edge count a build of this stream will see.
+func (s *EdgeListStream) RawEdges() uint64 { return s.raw }
+
+// Edges re-parses the edge-list from its starting offset.
+func (s *EdgeListStream) Edges(emit func(src, dst VID, w uint32) bool) error {
+	if _, err := s.rs.Seek(s.start, io.SeekStart); err != nil {
+		return fmt.Errorf("graph: seeking edge list: %w", err)
 	}
-	return b.Build(dedup), nil
+	_, _, _, _, err := parseEdgeList(s.rs, func(src, dst uint64, w uint32) bool {
+		return emit(VID(src), VID(dst), w)
+	})
+	return err
+}
+
+// ReadEdgeList parses an edge-list and builds a graph via the streaming
+// two-pass builder. Duplicate edges are preserved unless dedup is true.
+// Peak memory is the final CSR plus the scanner buffer; the historical
+// materialized []Edge is gone.
+func ReadEdgeList(r io.Reader, dedup bool) (*Graph, error) {
+	s, err := NewEdgeListStream(r)
+	if err != nil {
+		return nil, err
+	}
+	return BuildStream(s, dedup)
 }

@@ -1,0 +1,292 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// EdgeStream is a deterministic, re-runnable source of directed edges.
+// BuildStream consumes a stream twice (degree counting, then scatter),
+// so every call to Edges must reproduce the identical edge sequence —
+// generators re-seed their PRNG per call, file streams re-seek.
+type EdgeStream interface {
+	// NumVertices returns the vertex-id space [0, n) the edges live in.
+	NumVertices() int
+	// Edges calls emit for every edge, in a fixed order that is
+	// identical on every invocation. emit returns false to stop early
+	// (Edges then returns nil). Edges returns an error only for source
+	// faults (I/O, parse) — never for graph-shape reasons.
+	Edges(emit func(src, dst VID, w uint32) bool) error
+}
+
+// sliceStream adapts an in-memory edge list to EdgeStream (tests, fuzz
+// harnesses, and callers that already hold a materialized list).
+type sliceStream struct {
+	n     int
+	edges []Edge
+}
+
+// SliceStream returns a re-runnable stream over a materialized edge
+// list with n vertices. The slice is aliased, not copied.
+func SliceStream(n int, edges []Edge) EdgeStream {
+	if n <= 0 {
+		panic(fmt.Sprintf("graph: invalid vertex count %d", n))
+	}
+	return &sliceStream{n: n, edges: edges}
+}
+
+func (s *sliceStream) NumVertices() int { return s.n }
+
+func (s *sliceStream) Edges(emit func(src, dst VID, w uint32) bool) error {
+	for _, e := range s.edges {
+		if !emit(e.Src, e.Dst, e.Weight) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// BuildStream builds the CSR graph of s in two passes without ever
+// materializing an edge list: pass 1 counts out- and in-degrees, the
+// final arrays are allocated at exactly the raw edge count, and pass 2
+// scatters each edge directly into its CSR slot for both directions.
+// Per-vertex adjacency is then sorted (and deduped) in place, so peak
+// memory is the final graph plus the two pointer arrays — never the
+// 12-byte-per-edge []Edge (let alone the sort copy) the legacy
+// Builder.Build holds.
+//
+// The result is byte-identical to feeding the same stream through
+// NewBuilder/Build: out-edges ordered by (src, dst, weight), dedup
+// keeping the minimum-weight copy of each parallel edge, in-edges per
+// destination ordered by source. Build remains the executable
+// specification; the equivalence suite gates this claim.
+//
+// Streams whose all-edge weight is a single constant produce the
+// uniform-weight representation (no per-edge weight array).
+func BuildStream(s EdgeStream, dedup bool) (*Graph, error) {
+	n := s.NumVertices()
+	if n <= 0 {
+		return nil, fmt.Errorf("graph: stream declares invalid vertex count %d", n)
+	}
+
+	// Pass 1: count degrees at +1 offsets so the prefix sum turns the
+	// same arrays into CSR pointers, and detect the uniform-weight case.
+	outPtr := make([]uint64, n+1)
+	inPtr := make([]uint64, n+1)
+	var m uint64
+	uniform, uw := true, uint32(1)
+	var rangeErr error
+	err := s.Edges(func(src, dst VID, w uint32) bool {
+		if int(src) >= n || int(dst) >= n {
+			rangeErr = fmt.Errorf("graph: stream edge (%d,%d) out of range [0,%d)", src, dst, n)
+			return false
+		}
+		if m == 0 {
+			uw = w
+		} else if w != uw && uniform {
+			uniform = false
+		}
+		outPtr[src+1]++
+		inPtr[dst+1]++
+		m++
+		return true
+	})
+	if err == nil {
+		err = rangeErr
+	}
+	if err != nil {
+		return nil, err
+	}
+	for v := 1; v <= n; v++ {
+		outPtr[v] += outPtr[v-1]
+		inPtr[v] += inPtr[v-1]
+	}
+
+	// Pass 2: scatter straight into the preallocated arrays, using the
+	// pointer arrays as write cursors (shifted back down afterwards).
+	g := &Graph{numVertices: n}
+	g.outDst = make([]VID, m)
+	if !uniform {
+		g.outW = make([]uint32, m)
+	}
+	g.inSrc = make([]VID, m)
+	var seen uint64
+	err = s.Edges(func(src, dst VID, w uint32) bool {
+		if int(src) >= n || int(dst) >= n || seen == m {
+			rangeErr = fmt.Errorf("graph: stream changed between passes (edge %d)", seen)
+			return false
+		}
+		oi := outPtr[src]
+		if oi >= outPtr[src+1] {
+			rangeErr = fmt.Errorf("graph: stream changed between passes (vertex %d overflow)", src)
+			return false
+		}
+		g.outDst[oi] = dst
+		if !uniform {
+			g.outW[oi] = w
+		}
+		outPtr[src] = oi + 1
+		ii := inPtr[dst]
+		g.inSrc[ii] = src
+		inPtr[dst] = ii + 1
+		seen++
+		return true
+	})
+	if err == nil {
+		err = rangeErr
+	}
+	if err != nil {
+		return nil, err
+	}
+	if seen != m {
+		return nil, fmt.Errorf("graph: stream changed between passes (%d edges, then %d)", m, seen)
+	}
+	// Undo the cursor advance: outPtr[v] now holds the END of v's run,
+	// i.e. the start of v+1's — shift down by one vertex.
+	copy(outPtr[1:], outPtr[:n])
+	outPtr[0] = 0
+	copy(inPtr[1:], inPtr[:n])
+	inPtr[0] = 0
+	g.outPtr = outPtr
+	g.inPtr = inPtr
+
+	// Sort each adjacency run in place. (dst, weight) is a total order,
+	// so ties are indistinguishable and the result is deterministic.
+	for v := 0; v < n; v++ {
+		lo, hi := outPtr[v], outPtr[v+1]
+		if uniform {
+			sortVIDs(g.outDst[lo:hi])
+		} else {
+			sortAdj(g.outDst[lo:hi], g.outW[lo:hi])
+		}
+		sortVIDs(g.inSrc[inPtr[v]:inPtr[v+1]])
+	}
+
+	if dedup {
+		dedupCSR(g, uniform)
+		// Uniformity is a property of the SURVIVING edges (Build checks
+		// it after dedup): parallel edges whose differing weights all
+		// deduped away leave a uniform graph the raw pass-1 scan missed.
+		if !uniform && len(g.outW) > 0 {
+			uniform, uw = true, g.outW[0]
+			for _, w := range g.outW {
+				if w != uw {
+					uniform = false
+					break
+				}
+			}
+		}
+	}
+	if uniform {
+		g.setUniform(uw)
+	}
+	return g, nil
+}
+
+// dedupCSR removes duplicate (src,dst) edges from both CSRs in place,
+// compacting front to back. Out-runs are (dst, weight)-sorted, so equal
+// dsts are adjacent and the first kept copy carries the minimum weight —
+// exactly Build's semantics. In-runs are source-sorted; equal sources
+// within one destination's run are precisely the same duplicate edges,
+// so dropping them keeps the two CSRs in lockstep.
+func dedupCSR(g *Graph, uniform bool) {
+	n := g.numVertices
+	var w uint64
+	for v := 0; v < n; v++ {
+		lo, hi := g.outPtr[v], g.outPtr[v+1]
+		g.outPtr[v] = w
+		for i := lo; i < hi; i++ {
+			if i > lo && g.outDst[i] == g.outDst[i-1] {
+				continue
+			}
+			g.outDst[w] = g.outDst[i]
+			if !uniform {
+				g.outW[w] = g.outW[i]
+			}
+			w++
+		}
+	}
+	g.outPtr[n] = w
+	g.outDst = g.outDst[:w]
+	if !uniform {
+		g.outW = g.outW[:w]
+	}
+
+	w = 0
+	for v := 0; v < n; v++ {
+		lo, hi := g.inPtr[v], g.inPtr[v+1]
+		g.inPtr[v] = w
+		for i := lo; i < hi; i++ {
+			if i > lo && g.inSrc[i] == g.inSrc[i-1] {
+				continue
+			}
+			g.inSrc[w] = g.inSrc[i]
+			w++
+		}
+	}
+	g.inPtr[n] = w
+	g.inSrc = g.inSrc[:w]
+}
+
+// sortVIDs sorts a vertex-id run ascending; small runs (the common case
+// at graph average degrees) take the insertion-sort fast path.
+func sortVIDs(x []VID) {
+	if len(x) <= 32 {
+		for i := 1; i < len(x); i++ {
+			v := x[i]
+			j := i - 1
+			for j >= 0 && x[j] > v {
+				x[j+1] = x[j]
+				j--
+			}
+			x[j+1] = v
+		}
+		return
+	}
+	sort.Slice(x, func(i, j int) bool { return x[i] < x[j] })
+}
+
+// sortAdj sorts parallel (dst, weight) runs by (dst, weight).
+func sortAdj(dst []VID, w []uint32) {
+	if len(dst) <= 32 {
+		for i := 1; i < len(dst); i++ {
+			d, wt := dst[i], w[i]
+			j := i - 1
+			for j >= 0 && (dst[j] > d || (dst[j] == d && w[j] > wt)) {
+				dst[j+1], w[j+1] = dst[j], w[j]
+				j--
+			}
+			dst[j+1], w[j+1] = d, wt
+		}
+		return
+	}
+	sort.Sort(&adjSorter{dst: dst, w: w})
+}
+
+// adjSorter sorts parallel dst/weight slices by (dst, weight).
+type adjSorter struct {
+	dst []VID
+	w   []uint32
+}
+
+func (s *adjSorter) Len() int { return len(s.dst) }
+func (s *adjSorter) Less(i, j int) bool {
+	if s.dst[i] != s.dst[j] {
+		return s.dst[i] < s.dst[j]
+	}
+	return s.w[i] < s.w[j]
+}
+func (s *adjSorter) Swap(i, j int) {
+	s.dst[i], s.dst[j] = s.dst[j], s.dst[i]
+	s.w[i], s.w[j] = s.w[j], s.w[i]
+}
+
+// mustBuildStream builds from a generator stream, whose Edges never
+// fails and whose vertex ids are in range by construction.
+func mustBuildStream(s EdgeStream, dedup bool) *Graph {
+	g, err := BuildStream(s, dedup)
+	if err != nil {
+		panic(fmt.Sprintf("graph: generator stream failed: %v", err))
+	}
+	return g
+}

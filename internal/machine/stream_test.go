@@ -134,6 +134,66 @@ func TestStreamedCheckpointSuffix(t *testing.T) {
 	}
 }
 
+// spillRounds writes rounds [from, to) of a deterministic multi-round
+// workload through the spill path, one barrier per round. Rounds differ
+// (compute weight and address stride vary per round) so a resume that
+// lands on the wrong round cannot silently match.
+func spillRounds(t *testing.T, sp *memmap.AddressSpace, prop memmap.Addr, from, to int) *trace.Stream {
+	t.Helper()
+	f, err := os.Create(filepath.Join(t.TempDir(), "spill.gpimtrc2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	sw, err := trace.NewStreamWriter(f, 4, trace.DefaultChunkRecords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := trace.NewStreamingBuilder(sp, sw)
+	for round := from; round < to; round++ {
+		for th := 0; th < 4; th++ {
+			e := b.Thread(th)
+			for i := 0; i < 500; i++ {
+				e.Compute(2 + round)
+				e.Atomic(trace.AtomicAdd, prop+memmap.Addr(((i*(round+1))%512)*8), 8, false, false, false)
+			}
+		}
+		b.Barrier()
+	}
+	st, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestStreamedCheckpointResume is the full resume gate for
+// trace.Stream.CursorAt: replaying a stream from a mid-trace barrier
+// checkpoint must produce the exact Result — cycles, instructions, every
+// counter — of a from-start replay of a stream containing only the
+// remaining rounds. That makes checkpoints interchangeable with fresh
+// traces as machine entry points, which is what a partitioned or
+// restarted replay relies on.
+func TestStreamedCheckpointResume(t *testing.T) {
+	sp := memmap.NewAddressSpace()
+	prop := sp.PMRMalloc(1 << 14)
+	full := spillRounds(t, sp, prop, 0, 4)
+	if full.NumCheckpoints() != 4 {
+		t.Fatalf("checkpoints = %d, want 4", full.NumCheckpoints())
+	}
+	// Checkpoint cp sits after round cp's barrier, so resuming there
+	// replays rounds cp+1..3 — the same records a fresh spill of those
+	// rounds holds.
+	for _, cp := range []int{0, 1, 2} {
+		suffix := spillRounds(t, sp, prop, cp+1, 4)
+		for _, cfg := range []Config{Baseline(), GraphPIM(false), UPEI(false)} {
+			ref := RunSource(cfg, sp, suffix)
+			got := RunSource(cfg, sp, checkpointSource{st: full, cp: cp})
+			diffResults(t, fmt.Sprintf("resume cp=%d %s", cp, cfg.Name), got, ref)
+		}
+	}
+}
+
 // checkpointSource adapts a Stream to replay from a fixed checkpoint.
 type checkpointSource struct {
 	st *trace.Stream
