@@ -89,6 +89,44 @@ func TestWorkloadRejectsBadMem(t *testing.T) {
 	}
 }
 
+// TestRunRejectsBadMem pins the exit-2 path for `run -mem`: the message
+// names the bad kind and lists the valid ones in registry order.
+func TestRunRejectsBadMem(t *testing.T) {
+	_, stderr, code := runCLI("run", "-quick", "-mem", "sram", "all")
+	if code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(stderr, `run: unknown memory backend "sram"`) {
+		t.Fatalf("unhelpful message %q", stderr)
+	}
+	if !strings.Contains(stderr, "valid backends (registry order): hmc, ddr, lpddr, vault") {
+		t.Fatalf("valid-kind list missing or out of order:\n%s", stderr)
+	}
+}
+
+// TestWorkloadNewBackends smokes one workload on each new substrate:
+// both offload (nonzero PIM atomics) and report bus/link bytes rather
+// than HMC FLITs.
+func TestWorkloadNewBackends(t *testing.T) {
+	for _, kind := range []string{"lpddr", "vault"} {
+		out, stderr, code := runCLI("workload", "-quick", "-mem", kind, "-config", "graphpim", "BFS")
+		if code != 0 {
+			t.Fatalf("%s: exit code %d: %s", kind, code, stderr)
+		}
+		for _, want := range []string{"memory:     " + kind, "bus bytes:"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("%s output missing %q:\n%s", kind, want, out)
+			}
+		}
+		if strings.Contains(out, "offloaded:  0 PIM atomics") {
+			t.Fatalf("%s: GraphPIM offloaded nothing:\n%s", kind, out)
+		}
+		if strings.Contains(out, "link FLITs") {
+			t.Fatalf("%s run still reports link FLITs:\n%s", kind, out)
+		}
+	}
+}
+
 // TestWorkloadDDRBackend runs one workload on the DDR backend: the
 // GraphPIM config degrades to the conventional datapath (zero PIM
 // atomics) and the traffic line reports bus bytes, not link FLITs.

@@ -6,19 +6,21 @@
 //	graphpim list
 //	    List every experiment (paper table/figure reproductions).
 //
-//	graphpim run [-quick] [-vertices N] [-seed S] [-format F] [-out DIR] all|<id>...
+//	graphpim run [-quick] [-vertices N] [-seed S] [-mem KIND] [-format F] [-out DIR] all|<id>...
 //	    Run experiments and print their tables. "all" runs the full
-//	    evaluation in paper order. -out writes one JSONL record file per
-//	    experiment plus a manifest.json, from which `graphpim replay`
-//	    regenerates every table without re-simulating.
+//	    evaluation in paper order. -mem swaps the memory backend every
+//	    simulation runs against (hmc|ddr|lpddr|vault). -out writes one
+//	    JSONL record file per experiment plus a manifest.json, from which
+//	    `graphpim replay` regenerates every table without re-simulating.
 //
 //	graphpim replay -in DIR [all|<id>...]
 //	    Regenerate experiment tables from a recorded run directory.
 //
-//	graphpim workload [-quick] [-vertices N] [-config baseline|upei|graphpim] [-mem hmc|ddr] <name>
+//	graphpim workload [-quick] [-vertices N] [-config baseline|upei|graphpim] [-mem KIND] <name>
 //	    Simulate one GraphBIG workload and print its headline numbers.
-//	    -mem ddr swaps in the PIM-less DDR host-memory backend; offload
-//	    configurations degrade gracefully to the conventional datapath.
+//	    -mem swaps the memory backend (hmc|ddr|lpddr|vault); on the
+//	    PIM-less ddr backend, offload configurations degrade gracefully
+//	    to the conventional datapath.
 package main
 
 import (
@@ -31,10 +33,12 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"graphpim"
 	"graphpim/internal/harness"
+	"graphpim/internal/mem"
 	"graphpim/internal/obs"
 )
 
@@ -115,7 +119,8 @@ run/workload flags:
   -cpuprofile F    write a CPU profile of the experiment run
   -memprofile F    write a heap profile taken after the experiment run
   -config C        workload config: baseline|upei|graphpim (workload cmd)
-  -mem M           memory backend: hmc|ddr (workload cmd; ddr has no PIM units)`)
+  -mem M           memory backend kind: hmc|ddr|lpddr|vault (run + workload cmds;
+                   ddr has no PIM units, offload configs degrade gracefully)`)
 }
 
 // writeExperimentList prints every experiment in registry order — the
@@ -175,6 +180,19 @@ func flagValues(fs *flag.FlagSet) map[string]string {
 	return m
 }
 
+// checkMemKind validates a -mem flag value against the backend registry;
+// an unknown kind reports the valid kinds in registry order (mirroring
+// the unknown-experiment-id behaviour) and returns false for a usage
+// (exit 2) failure.
+func checkMemKind(sub, kind string, stderr io.Writer) bool {
+	if _, ok := mem.DefaultConfig(kind); ok {
+		return true
+	}
+	fmt.Fprintf(stderr, "%s: unknown memory backend %q\n", sub, kind)
+	fmt.Fprintf(stderr, "valid backends (registry order): %s\n", strings.Join(mem.Kinds(), ", "))
+	return false
+}
+
 // resolveExperiments maps requested ids to experiments; "all" selects
 // the full paper evaluation. An unknown id is reported together with
 // the valid ids in registry order.
@@ -212,7 +230,11 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 	workers := fs.Int("j", runtime.NumCPU(), "parallel workers for simulation cells")
 	shards := fs.Int("shards", 1, "scheduler shards per simulation (1 serial, 0 auto)")
 	stream := fs.Bool("stream", false, "stream traces through a bounded spill file (identical output, lower peak memory)")
+	memKind := fs.String("mem", "hmc", "memory backend kind for every simulation")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if !checkMemKind("run", *memKind, stderr) {
 		return 2
 	}
 	if *workers < 1 {
@@ -245,6 +267,11 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 	env.Check = *checkOn
 	env.Shards = resolveShards(*shards)
 	env.Stream = *stream
+	if *memKind != "hmc" {
+		// "hmc" stays "" so manifests and goldens of default runs keep
+		// their historical (field-absent) shape.
+		env.Memory = *memKind
+	}
 	defer env.Close()
 	if !*quiet {
 		env.Reporter = obs.NewTextReporter(stderr)
@@ -437,7 +464,7 @@ func cmdWorkload(args []string, stdout, stderr io.Writer) int {
 	vertices := fs.Int("vertices", 16384, "LDBC graph size")
 	seed := fs.Uint64("seed", 7, "generator seed")
 	config := fs.String("config", "graphpim", "baseline|upei|graphpim")
-	mem := fs.String("mem", "hmc", "memory backend: hmc|ddr")
+	memKind := fs.String("mem", "hmc", "memory backend kind")
 	checkOn := fs.Bool("check", false, "enable simulation sanitizer audits (slower, identical output)")
 	shards := fs.Int("shards", 1, "scheduler shards per simulation (1 serial, 0 auto)")
 	stream := fs.Bool("stream", false, "stream the trace through a bounded spill file (identical output, lower peak memory)")
@@ -452,6 +479,9 @@ func cmdWorkload(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "workload: -shards must be non-negative (got %d); use 0 for one shard per CPU\n", *shards)
 		return 2
 	}
+	if !checkMemKind("workload", *memKind, stderr) {
+		return 2
+	}
 	if *quick {
 		*vertices = 2048
 	}
@@ -462,7 +492,7 @@ func cmdWorkload(args []string, stdout, stderr io.Writer) int {
 	}
 	opts := graphpim.DefaultOptions()
 	opts.Check = *checkOn
-	opts.Memory = *mem
+	opts.Memory = *memKind
 	opts.Shards = resolveShards(*shards)
 	opts.Stream = *stream
 	if err := opts.Validate(); err != nil {
@@ -495,16 +525,16 @@ func cmdWorkload(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "graph:      LDBC-like, %d vertices, %d edges, seed %d\n",
 		g.NumVertices(), g.NumEdges(), *seed)
 	fmt.Fprintf(stdout, "config:     %s\n", res.Config)
-	fmt.Fprintf(stdout, "memory:     %s\n", *mem)
+	fmt.Fprintf(stdout, "memory:     %s\n", *memKind)
 	fmt.Fprintf(stdout, "cycles:     %d\n", res.Cycles)
 	fmt.Fprintf(stdout, "instrs:     %d\n", res.Instructions)
 	fmt.Fprintf(stdout, "IPC/core:   %s\n", fmtRatio(res.IPC(16), "%.3f"))
 	fmt.Fprintf(stdout, "L3 MPKI:    %s\n", fmtRatio(res.MPKI("cache.l3"), "%.1f"))
-	if *mem == "ddr" {
+	if mem.FlitTraffic(*memKind) {
+		fmt.Fprintf(stdout, "link FLITs: %d\n", res.TotalFlits())
+	} else {
 		fmt.Fprintf(stdout, "bus bytes:  %d\n",
 			res.MemStat("mem.req.bytes")+res.MemStat("mem.rsp.bytes"))
-	} else {
-		fmt.Fprintf(stdout, "link FLITs: %d\n", res.TotalFlits())
 	}
 	if cfg != graphpim.ConfigBaseline {
 		fmt.Fprintf(stdout, "speedup:    %s over baseline (%d cycles)\n",

@@ -23,6 +23,7 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"strings"
 
 	"graphpim/internal/analytic"
 	"graphpim/internal/check"
@@ -31,7 +32,7 @@ import (
 	"graphpim/internal/graph"
 	"graphpim/internal/harness"
 	"graphpim/internal/machine"
-	"graphpim/internal/mem/ddr"
+	"graphpim/internal/mem"
 	"graphpim/internal/trace"
 	"graphpim/internal/workloads"
 )
@@ -175,10 +176,13 @@ type Options struct {
 	// (results are identical either way); a violation panics with
 	// subsystem/cycle/core context.
 	Check bool
-	// Memory selects the main-memory backend: "" or "hmc" for the
-	// paper's HMC cube, "ddr" for a conventional DDR4-style host memory
-	// with no PIM units. On "ddr" the offload configurations degrade
-	// gracefully to the conventional datapath (nothing can offload), so
+	// Memory selects the main-memory backend kind: "" or "hmc" for the
+	// paper's HMC cube, or any other registered kind — "ddr" (a
+	// conventional DDR4-style host memory with no PIM units), "lpddr"
+	// (mobile LPDDR5X-PIM with bank-group MAC units), "vault"
+	// (UPMEM-style per-vault scalar cores). Capability negotiation keeps
+	// every combination safe: on the PIM-less "ddr" backend the offload
+	// configurations degrade gracefully to the conventional datapath, so
 	// ConfigGraphPIM behaves exactly like ConfigBaseline.
 	Memory string
 	// Shards is the epoch-sharded scheduler's shard count: 0 or 1 runs
@@ -203,10 +207,11 @@ func (o Options) Validate() error {
 	if o.Threads <= 0 || o.Threads > 16 {
 		return fmt.Errorf("graphpim: thread count %d outside [1,16]", o.Threads)
 	}
-	switch o.Memory {
-	case "", "hmc", "ddr":
-	default:
-		return fmt.Errorf("graphpim: unknown memory backend %q (valid: hmc, ddr)", o.Memory)
+	if o.Memory != "" {
+		if _, ok := mem.DefaultConfig(o.Memory); !ok {
+			return fmt.Errorf("graphpim: unknown memory backend %q (valid: %s)",
+				o.Memory, strings.Join(mem.Kinds(), ", "))
+		}
 	}
 	if o.Shards < 0 {
 		return fmt.Errorf("graphpim: shard count %d must be non-negative", o.Shards)
@@ -258,8 +263,10 @@ func (r *Run) machineConfig(cfg Config, w Workload) machine.Config {
 	if r.opts.Check {
 		mc.Check = check.Periodic
 	}
-	if r.opts.Memory == "ddr" {
-		mc.Mem = ddr.DefaultConfig()
+	if r.opts.Memory != "" && r.opts.Memory != "hmc" {
+		// "hmc" keeps Mem nil so the HMC knobs (HMC/HMCCubes) stay live.
+		bc, _ := mem.DefaultConfig(r.opts.Memory)
+		mc.Mem = bc
 	}
 	mc.Shards = r.opts.Shards
 	return mc

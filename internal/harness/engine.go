@@ -282,6 +282,7 @@ func (e *Env) Info() obs.EnvInfo {
 		Parallelism:  e.Parallelism,
 		Shards:       e.Shards,
 		Stream:       e.Stream,
+		Memory:       e.Memory,
 		NumCPU:       runtime.NumCPU(),
 		Gomaxprocs:   runtime.GOMAXPROCS(0),
 	}
@@ -300,5 +301,6 @@ func EnvFromInfo(info obs.EnvInfo) *Env {
 		Parallelism:  info.Parallelism,
 		Shards:       info.Shards,
 		Stream:       info.Stream,
+		Memory:       info.Memory,
 	}
 }

@@ -25,6 +25,8 @@ import (
 	"graphpim/internal/gframe"
 	"graphpim/internal/graph"
 	"graphpim/internal/machine"
+	"graphpim/internal/mem"
+	_ "graphpim/internal/mem/backends" // register built-in backend kinds
 	"graphpim/internal/obs"
 	"graphpim/internal/trace"
 	"graphpim/internal/workloads"
@@ -79,6 +81,12 @@ type Env struct {
 	// goroutines. Results are byte-identical at any value (see
 	// DESIGN.md §12), so tables never depend on it.
 	Shards int
+	// Memory selects the memory backend kind every machine the
+	// experiments assemble runs against ("" or "hmc" keeps the default
+	// HMC chain; any other registered mem kind substitutes that
+	// backend's default configuration). Unknown kinds panic in Config —
+	// the CLI validates against mem.Kinds() before constructing an Env.
+	Memory string
 	// Stream builds every trace through the bounded-buffer streaming
 	// pipeline (DESIGN.md §13): the generator spills v2-encoded chunks
 	// to an unlinked temp file instead of materializing []trace.Instr
@@ -267,6 +275,14 @@ func (e *Env) Config(kind ConfigKind, w workloads.Workload) machine.Config {
 		panic(fmt.Sprintf("harness: unknown config kind %q", kind))
 	}
 	cfg.POU.PMRActive = cfg.POU.OffloadAtomics && info.ApplicableWith(extended)
+	if e.Memory != "" && e.Memory != "hmc" {
+		mc, ok := mem.DefaultConfig(e.Memory)
+		if !ok {
+			panic(fmt.Sprintf("harness: unknown memory backend kind %q (registered: %s)",
+				e.Memory, strings.Join(mem.Kinds(), ", ")))
+		}
+		cfg.Mem = mc
+	}
 	if e.Check {
 		cfg.Check = check.Periodic
 	}

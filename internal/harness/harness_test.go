@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 
@@ -192,8 +193,8 @@ func TestFig17RunsBothApps(t *testing.T) {
 
 func TestExtrasRegistered(t *testing.T) {
 	extras := Extras()
-	if len(extras) != 7 {
-		t.Fatalf("extras = %d, want 7", len(extras))
+	if len(extras) != 8 {
+		t.Fatalf("extras = %d, want 8", len(extras))
 	}
 	for _, ex := range extras {
 		if ex.ID == "" || ex.Run == nil {
@@ -221,6 +222,60 @@ func TestExtDDRHostDegradesGracefully(t *testing.T) {
 		if got := row[len(row)-1]; got != "1.00x" {
 			t.Fatalf("%s: GraphPIM-on-DDR speedup over DDR baseline = %s, want 1.00x", row[0], got)
 		}
+	}
+}
+
+// TestExtBackendShootoutStructure runs the four-substrate shootout at
+// quick scale and pins its structural invariants: one row per
+// evaluation workload, a well-formed speedup in every backend column,
+// and exactly 1.00x in the ddr column (wholesale degradation).
+func TestExtBackendShootoutStructure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	ex, err := ByID("ext-backend-shootout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := ex.Run(checkedQuickEnv())
+	if len(tb.Rows) != len(workloads.EvalSet())+1 {
+		t.Fatalf("rows = %d, want %d workloads + geomean", len(tb.Rows), len(workloads.EvalSet()))
+	}
+	ddrCol := -1
+	for i, h := range tb.Headers {
+		if h == "ddr" {
+			ddrCol = i
+		}
+	}
+	if ddrCol < 0 {
+		t.Fatalf("no ddr column in %v", tb.Headers)
+	}
+	for _, row := range tb.Rows {
+		for col, cell := range row[1:] {
+			if !strings.HasSuffix(cell, "x") {
+				t.Fatalf("%s %s: malformed speedup %q", row[0], tb.Headers[col+1], cell)
+			}
+		}
+		if row[ddrCol] != "1.00x" {
+			t.Fatalf("%s: ddr column %s, want 1.00x (no PIM units)", row[0], row[ddrCol])
+		}
+	}
+	// The geomean row carries the capability ordering: hmc above the
+	// PIM-capable newcomers, everything PIM-capable above ddr's 1.00x.
+	geo := tb.Rows[len(tb.Rows)-1]
+	if geo[0] != "geomean" {
+		t.Fatalf("last row %v, want the geomean summary", geo)
+	}
+	val := func(col int) float64 {
+		f, err := strconv.ParseFloat(strings.TrimSuffix(geo[col], "x"), 64)
+		if err != nil {
+			t.Fatalf("geomean %s: %v", tb.Headers[col], err)
+		}
+		return f
+	}
+	hmc, lpddr, vault := val(1), val(3), val(4)
+	if !(hmc > lpddr && hmc > vault && lpddr > 1.0 && vault > 1.0) {
+		t.Fatalf("capability ordering broken: hmc %.2f, lpddr %.2f, vault %.2f", hmc, lpddr, vault)
 	}
 }
 

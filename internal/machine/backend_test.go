@@ -5,9 +5,14 @@ import (
 	"testing"
 
 	"graphpim/internal/check"
+	"graphpim/internal/mem"
+	_ "graphpim/internal/mem/backends" // registers every backend kind
 	"graphpim/internal/mem/ddr"
 	"graphpim/internal/mem/hmcbackend"
+	"graphpim/internal/mem/lpddr"
+	"graphpim/internal/memmap"
 	"graphpim/internal/sim"
+	"graphpim/internal/trace"
 )
 
 // TestExplicitHMCBackendIdentity is the machine-level half of the
@@ -121,6 +126,188 @@ func TestFPAtomicWithoutFPFUFallsBackToHost(t *testing.T) {
 		if res.Stats["mem.pim_atomics"] == 0 {
 			t.Fatalf("seed %d: integer atomics stopped offloading", seed)
 		}
+	}
+}
+
+// TestCrossBackendDegradationMatrix runs every registered backend kind
+// under every architecture configuration with the sanitizer on: no
+// panic, audits clean, every instruction retires, and the canonical
+// mem.* counters resolve to exactly the selected backend's namespace —
+// no other backend's counters may be touched.
+func TestCrossBackendDegradationMatrix(t *testing.T) {
+	sp, tr := synthWorkload(4, 200, 1<<14, 21)
+	configs := []struct {
+		name string
+		mk   func() Config
+	}{
+		{"baseline", Baseline},
+		{"upei", func() Config { return UPEI(false) }},
+		{"graphpim", func() Config { return GraphPIM(false) }},
+	}
+	kinds := mem.Kinds()
+	if len(kinds) < 4 {
+		t.Fatalf("registry holds %v, want all four kinds", kinds)
+	}
+	for _, kind := range kinds {
+		for _, c := range configs {
+			cfg := c.mk()
+			bc, ok := mem.DefaultConfig(kind)
+			if !ok {
+				t.Fatalf("kind %q unregistered", kind)
+			}
+			cfg.Mem = bc
+			cfg.HMCCubes = 0 // the explicit backend config governs
+			cfg.Check = check.Periodic
+			cfg.CheckInterval = 256
+			res := RunTrace(cfg, sp, tr)
+			label := kind + "/" + c.name
+
+			if res.Instructions != tr.TotalInstructions() {
+				t.Fatalf("%s: retired %d of %d", label, res.Instructions, tr.TotalInstructions())
+			}
+			reads := res.MemStat(mem.StatReads)
+			if reads == 0 || reads != res.Stats[kind+".reads"] {
+				t.Fatalf("%s: canonical reads %d vs %s.reads %d", label, reads, kind, res.Stats[kind+".reads"])
+			}
+			if w := res.MemStat(mem.StatWrites); w != res.Stats[kind+".writes"] {
+				t.Fatalf("%s: canonical writes %d vs %s.writes %d", label, w, kind, res.Stats[kind+".writes"])
+			}
+			for _, other := range kinds {
+				if other != kind && res.Stats[other+".reads"] != 0 {
+					t.Fatalf("%s: foreign namespace %s populated", label, other)
+				}
+			}
+			// Offload only where the substrate has PIM units.
+			pim := res.Stats["mem.pim_atomics"]
+			if kind == "ddr" && pim != 0 {
+				t.Fatalf("%s: PIM-less backend offloaded %d atomics", label, pim)
+			}
+			if kind != "ddr" && c.name != "baseline" && pim == 0 {
+				t.Fatalf("%s: PIM-capable backend offloaded nothing", label)
+			}
+			// Every atomic is accounted exactly once.
+			if pim+res.Stats["mem.host_atomics"] == 0 {
+				t.Fatalf("%s: no atomics executed on an atomic-heavy trace", label)
+			}
+		}
+	}
+}
+
+// fpTrace builds a short trace whose PMR atomics are an even mix of
+// integer adds and FP accumulates — the probe for per-command
+// capability negotiation.
+func fpTrace() (*memmap.AddressSpace, *trace.Trace) {
+	sp := memmap.NewAddressSpace()
+	prop := sp.PMRMalloc(1 << 14)
+	b := trace.NewBuilder(sp, 2)
+	r := sim.NewRand(5)
+	for th := 0; th < 2; th++ {
+		e := b.Thread(th)
+		for i := 0; i < 200; i++ {
+			kind := trace.AtomicAdd
+			if i%2 == 0 {
+				kind = trace.AtomicFPAdd
+			}
+			e.Atomic(kind, prop+memmap.Addr(r.Intn(2048)*8), 8, false, false, false)
+			e.DependentCompute(2)
+		}
+	}
+	b.Barrier()
+	return sp, b.Build()
+}
+
+// TestLPDDRFallbackCounterOnFPLessMAC pins satellite: a capability-
+// negotiation fallback must be visible in stats, not silent. An
+// FP-less LPDDR MAC under extended-atomics GraphPIM routes every FP
+// accumulate to the host path and counts it per op.
+func TestLPDDRFallbackCounterOnFPLessMAC(t *testing.T) {
+	sp, tr := fpTrace()
+	lc := lpddr.DefaultConfig()
+	lc.HasFP = false
+	cfg := GraphPIM(true)
+	cfg.Mem = lc
+	cfg.Check = check.Periodic
+	res := RunTrace(cfg, sp, tr)
+
+	fb := res.Stats["pou.fallbacks.EXT_FPADD64"]
+	if fb == 0 {
+		t.Fatal("FP fallbacks not counted")
+	}
+	if fb != res.Stats["mem.host_atomics"] {
+		t.Fatalf("fallbacks %d != host atomics %d (only vetoed ops ran host-side)",
+			fb, res.Stats["mem.host_atomics"])
+	}
+	if res.Stats["mem.pim_atomics"] == 0 {
+		t.Fatal("integer atomics stopped offloading")
+	}
+
+	// The FP-capable default MAC has no fallbacks on the same trace.
+	full := GraphPIM(true)
+	full.Mem = lpddr.DefaultConfig()
+	full.Check = check.Periodic
+	fres := RunTrace(full, sp, tr)
+	if n := fres.Stats["pou.fallbacks.EXT_FPADD64"]; n != 0 {
+		t.Fatalf("FP-capable MAC counted %d fallbacks", n)
+	}
+	if fres.Stats["mem.host_atomics"] != 0 {
+		t.Fatalf("FP-capable MAC ran %d atomics host-side", fres.Stats["mem.host_atomics"])
+	}
+}
+
+// TestVaultBundleDispatch pins the general-purpose tier end to end:
+// without the FP extension an FP accumulate has no PIM command, yet the
+// vault backend's scalar cores still take it — as a bundle — so nothing
+// falls back to the host, and the run stays audit-clean.
+func TestVaultBundleDispatch(t *testing.T) {
+	sp, tr := fpTrace()
+	cfg := GraphPIM(false) // no FP extension: FP atomics are unmappable
+	bc, _ := mem.DefaultConfig("vault")
+	cfg.Mem = bc
+	cfg.Check = check.Periodic
+	res := RunTrace(cfg, sp, tr)
+
+	if res.Stats["mem.host_atomics"] != 0 {
+		t.Fatalf("%d atomics fell back to host despite bundle capability", res.Stats["mem.host_atomics"])
+	}
+	bundles := res.Stats["vault.bundles"]
+	if bundles == 0 {
+		t.Fatal("no bundles dispatched for unmappable atomics")
+	}
+	if res.Stats["mem.pim_atomics"] != res.Stats["vault.atomics"] {
+		t.Fatalf("pim atomics %d != vault atomics %d", res.Stats["mem.pim_atomics"], res.Stats["vault.atomics"])
+	}
+	if bundles >= res.Stats["vault.atomics"] {
+		t.Fatalf("bundles %d not a strict subset of atomics %d (integer adds use the command path)",
+			bundles, res.Stats["vault.atomics"])
+	}
+}
+
+// TestVaultGeneralizesPMRApplicability pins the inverse negotiation: a
+// workload the framework would not place in the PMR (PMRActive=false,
+// Table III inapplicability) still offloads on a bundle-capable
+// substrate, while fixed-function substrates keep it host-side.
+func TestVaultGeneralizesPMRApplicability(t *testing.T) {
+	sp, tr := fpTrace()
+	mk := func(kind string) Config {
+		cfg := GraphPIM(false)
+		cfg.POU.PMRActive = false
+		bc, ok := mem.DefaultConfig(kind)
+		if !ok {
+			t.Fatalf("kind %q unregistered", kind)
+		}
+		cfg.Mem = bc
+		cfg.HMCCubes = 0
+		cfg.Check = check.Periodic
+		return cfg
+	}
+	vres := RunTrace(mk("vault"), sp, tr)
+	if vres.Stats["mem.pim_atomics"] == 0 {
+		t.Fatal("bundle-capable substrate did not re-activate the PMR")
+	}
+	hres := RunTrace(mk("hmc"), sp, tr)
+	if hres.Stats["mem.pim_atomics"] != 0 {
+		t.Fatalf("fixed-function substrate offloaded %d atomics with an inactive PMR",
+			hres.Stats["mem.pim_atomics"])
 	}
 }
 

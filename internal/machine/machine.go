@@ -307,6 +307,15 @@ func NewSource(cfg Config, space *memmap.AddressSpace, src trace.Source) *Machin
 		pouCfg.UCBypass = false
 		pouCfg.PMRActive = false
 	}
+	if bb, ok := backend.(mem.BundleBackend); ok && bb.CanOffloadBundle() &&
+		pouCfg.OffloadAtomics && !pouCfg.PMRActive {
+		// The inverse negotiation: a substrate with general-purpose
+		// near-memory cores executes any read-modify-write as a bundle,
+		// so Table III applicability no longer gates PMR allocation — the
+		// framework places the property data near memory even for
+		// workloads whose atomics have no fixed-function command.
+		pouCfg.PMRActive = true
+	}
 	m := &Machine{
 		cfg:     cfg,
 		stats:   st,
@@ -414,6 +423,13 @@ func (m *Machine) Atomic(core int, in trace.Instr, now uint64) cpu.AtomicResult 
 
 	switch d.Path {
 	case pou.PathHostAtomic:
+		if d.Fallback {
+			// Capability negotiation vetoed the offload; count it per op
+			// so the degradation is visible. Lazily keyed — the counters
+			// only exist in runs that actually fall back, keeping
+			// snapshots of fully-capable runs unchanged.
+			m.stats.Inc("pou.fallbacks." + d.Op.String())
+		}
 		// Read-for-ownership through the cache hierarchy, then the
 		// locked RMW in the core.
 		r := m.cache.Access(core, in.Addr, true, now)
@@ -437,6 +453,17 @@ func (m *Machine) Atomic(core int, in trace.Instr, now uint64) cpu.AtomicResult 
 		}
 
 	case pou.PathPIM:
+		// Dispatch seam for the two capability tiers: fixed-function
+		// commands go through Atomic, bundle-tier decisions through the
+		// general-purpose vault cores. The POU only emits Bundle
+		// decisions against a mem.BundleBackend, so the assertion holds
+		// by construction.
+		exec := func(at uint64) mem.AtomicTiming {
+			if d.Bundle {
+				return m.mem.(mem.BundleBackend).AtomicBundle(in.Addr, at)
+			}
+			return m.mem.Atomic(d.Op, in.Addr, hmcatomic.Value{}, at)
+		}
 		if m.cfg.POU.HostOnCacheHit {
 			// U-PEI: the ideal locality monitor checks the caches
 			// first and executes host-side on a hit.
@@ -461,7 +488,7 @@ func (m *Machine) Atomic(core int, in trace.Instr, now uint64) cpu.AtomicResult 
 			// coherence keeps nothing to write back).
 			walk := m.probeLatency(lvl)
 			m.ctr.pimAtomics.Inc()
-			t := m.mem.Atomic(d.Op, in.Addr, hmcatomic.Value{}, now+walk)
+			t := exec(now + walk)
 			return cpu.AtomicResult{
 				AcceptedAt:    t.Accepted,
 				CompleteAt:    t.ResponseAt,
@@ -472,7 +499,7 @@ func (m *Machine) Atomic(core int, in trace.Instr, now uint64) cpu.AtomicResult 
 		}
 		// GraphPIM: offload immediately, no cache involvement at all.
 		m.ctr.pimAtomics.Inc()
-		t := m.mem.Atomic(d.Op, in.Addr, hmcatomic.Value{}, now)
+		t := exec(now)
 		return cpu.AtomicResult{
 			AcceptedAt: t.Accepted,
 			CompleteAt: t.ResponseAt,

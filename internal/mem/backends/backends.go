@@ -1,0 +1,26 @@
+// Package backends registers every built-in memory backend with the
+// mem kind registry in one place, in a fixed order. Central explicit
+// registration (rather than init() in each backend package) keeps the
+// registry order deterministic — CLI listings and the cross-backend
+// matrix iterate it — and runs the registration-time counter-alias
+// check for all backends as soon as anything imports this package.
+//
+// Import for side effects:
+//
+//	import _ "graphpim/internal/mem/backends"
+package backends
+
+import (
+	"graphpim/internal/mem"
+	"graphpim/internal/mem/ddr"
+	"graphpim/internal/mem/hmcbackend"
+	"graphpim/internal/mem/lpddr"
+	"graphpim/internal/mem/vault"
+)
+
+func init() {
+	mem.RegisterKind(func() mem.Config { return hmcbackend.DefaultConfig(1) })
+	mem.RegisterKind(func() mem.Config { return ddr.DefaultConfig() })
+	mem.RegisterKind(func() mem.Config { return lpddr.DefaultConfig() })
+	mem.RegisterKind(func() mem.Config { return vault.DefaultConfig() })
+}

@@ -1,6 +1,9 @@
 package mem
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 // TestStatSumsAliases verifies the canonical-name resolution: each
 // namespace's concrete counter is picked up, unknown canonical names
@@ -56,24 +59,33 @@ func TestStatSumsAliases(t *testing.T) {
 }
 
 // TestAliasesCoverNamespaces pins that every canonical per-request name
-// resolves into both backend namespaces (traffic counters are
-// unit-specific and deliberately single-namespace).
+// resolves into every backend namespace (flit/byte traffic counters are
+// unit-specific, and only PIM-capable backends count atomics).
 func TestAliasesCoverNamespaces(t *testing.T) {
-	for _, canonical := range []string{StatReads, StatWrites, StatUCReads, StatUCWrites} {
+	covers := func(canonical string, namespaces ...string) {
+		t.Helper()
 		names := Aliases(canonical)
-		var hmc, ddr bool
-		for _, n := range names {
-			switch {
-			case len(n) > 4 && n[:4] == "hmc.":
-				hmc = true
-			case len(n) > 4 && n[:4] == "ddr.":
-				ddr = true
+		for _, ns := range namespaces {
+			found := false
+			for _, n := range names {
+				if strings.HasPrefix(n, ns+".") {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("canonical %s aliases %v miss namespace %s", canonical, names, ns)
 			}
 		}
-		if !hmc || !ddr {
-			t.Errorf("canonical %s aliases %v miss a namespace (hmc=%v ddr=%v)", canonical, names, hmc, ddr)
-		}
 	}
+	for _, canonical := range []string{StatReads, StatWrites, StatUCReads, StatUCWrites} {
+		covers(canonical, "hmc", "ddr", "lpddr", "vault")
+	}
+	covers(StatAtomics, "hmc", "lpddr", "vault") // ddr has no PIM units
+	covers(StatReqFlits, "hmc")
+	covers(StatRspFlits, "hmc")
+	covers(StatReqBytes, "ddr", "lpddr", "vault")
+	covers(StatRspBytes, "ddr", "lpddr", "vault")
 	if Aliases("not.a.canonical.name") != nil {
 		t.Error("unknown canonical name returned aliases")
 	}

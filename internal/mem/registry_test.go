@@ -1,0 +1,187 @@
+// Registry tests live in an external package: they need the concrete
+// backends registered, and importing mem/backends from inside package
+// mem would be an import cycle.
+package mem_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"graphpim/internal/hmcatomic"
+	"graphpim/internal/mem"
+	_ "graphpim/internal/mem/backends" // registers hmc, ddr, lpddr, vault
+	"graphpim/internal/memmap"
+	"graphpim/internal/sim"
+)
+
+// TestKindsRegistrationOrder pins the registry contents and the order
+// CLI listings and error messages present them in.
+func TestKindsRegistrationOrder(t *testing.T) {
+	got := mem.Kinds()
+	want := []string{"hmc", "ddr", "lpddr", "vault"}
+	if len(got) != len(want) {
+		t.Fatalf("Kinds() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Kinds() = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestDefaultConfigs: every registered kind round-trips through
+// DefaultConfig to a validating config of the same kind, and builds.
+func TestDefaultConfigs(t *testing.T) {
+	for _, kind := range mem.Kinds() {
+		cfg, ok := mem.DefaultConfig(kind)
+		if !ok {
+			t.Fatalf("DefaultConfig(%q) missing", kind)
+		}
+		if cfg.Kind() != kind {
+			t.Fatalf("DefaultConfig(%q).Kind() = %q", kind, cfg.Kind())
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("default %q config invalid: %v", kind, err)
+		}
+		b := cfg.New(sim.NewStats())
+		if b.Counters().Namespace != kind {
+			t.Fatalf("%q backend namespace %q", kind, b.Counters().Namespace)
+		}
+	}
+	if _, ok := mem.DefaultConfig("sram"); ok {
+		t.Fatal("unknown kind resolved")
+	}
+}
+
+// TestKindTraits pins the per-kind capability traits the CLI and
+// harness key off.
+func TestKindTraits(t *testing.T) {
+	for _, kind := range mem.Kinds() {
+		if got, want := mem.FlitTraffic(kind), kind == "hmc"; got != want {
+			t.Errorf("FlitTraffic(%q) = %v, want %v", kind, got, want)
+		}
+		if got, want := mem.BundleCapable(kind), kind == "vault"; got != want {
+			t.Errorf("BundleCapable(%q) = %v, want %v", kind, got, want)
+		}
+	}
+	if mem.FlitTraffic("sram") || mem.BundleCapable("sram") {
+		t.Error("unknown kind reports traits")
+	}
+}
+
+// fakeBackend is a minimal Backend whose Counters() the tests control.
+type fakeBackend struct{ names mem.CounterNames }
+
+func (fakeBackend) ReadLine(memmap.Addr, uint64) uint64      { return 1 }
+func (fakeBackend) WriteLine(memmap.Addr, uint64)            {}
+func (fakeBackend) UCRead(memmap.Addr, uint64) uint64        { return 1 }
+func (fakeBackend) UCWrite(_ memmap.Addr, now uint64) uint64 { return now + 1 }
+func (fakeBackend) CanOffload(hmcatomic.Op) bool             { return false }
+func (fakeBackend) Audit(uint64) error                       { return nil }
+func (b fakeBackend) Counters() mem.CounterNames             { return b.names }
+func (fakeBackend) Atomic(op hmcatomic.Op, addr memmap.Addr, imm hmcatomic.Value, now uint64) mem.AtomicTiming {
+	return mem.AtomicTiming{Accepted: now, ResponseAt: now + 1}
+}
+
+// fakeConfig builds fakeBackend under a controllable kind.
+type fakeConfig struct {
+	kind    string
+	names   mem.CounterNames
+	invalid error
+}
+
+func (c fakeConfig) Kind() string               { return c.kind }
+func (c fakeConfig) Validate() error            { return c.invalid }
+func (c fakeConfig) New(*sim.Stats) mem.Backend { return fakeBackend{names: c.names} }
+
+// mustPanic runs f and returns the panic message, failing if it
+// returned normally. RegisterKind's failure paths panic before the
+// registry append, so these probes leave the global registry clean.
+func mustPanic(t *testing.T, f func()) (msg string) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("RegisterKind accepted a broken backend")
+		}
+		msg, _ = r.(string)
+	}()
+	f()
+	return
+}
+
+// TestRegisterKindRejectsUnaliasedCounter is the bug-sweep pin: a
+// backend declaring a counter the alias table does not know about must
+// fail loudly at registration, not silently report 0 through mem.Stat.
+func TestRegisterKindRejectsUnaliasedCounter(t *testing.T) {
+	cfg := fakeConfig{
+		kind: "fake",
+		names: mem.CounterNames{
+			Namespace: "fake",
+			Reads:     "fake.reads", // in-namespace but not in the alias table
+		},
+	}
+	msg := mustPanic(t, func() { mem.RegisterKind(func() mem.Config { return cfg }) })
+	if !strings.Contains(msg, "does not resolve through the alias table") {
+		t.Fatalf("panic %q lacks the alias-table diagnosis", msg)
+	}
+	if !strings.Contains(msg, mem.StatReads) {
+		t.Fatalf("panic %q does not name the canonical counter", msg)
+	}
+}
+
+func TestRegisterKindRejectsNamespaceMismatch(t *testing.T) {
+	cfg := fakeConfig{kind: "fake", names: mem.CounterNames{Namespace: "other"}}
+	msg := mustPanic(t, func() { mem.RegisterKind(func() mem.Config { return cfg }) })
+	if !strings.Contains(msg, "declares counter namespace") {
+		t.Fatalf("panic %q lacks the namespace diagnosis", msg)
+	}
+}
+
+func TestRegisterKindRejectsOutOfNamespaceCounter(t *testing.T) {
+	cfg := fakeConfig{
+		kind: "fake",
+		names: mem.CounterNames{
+			Namespace: "fake",
+			Reads:     "hmc.reads", // aliased, but another backend's name
+		},
+	}
+	msg := mustPanic(t, func() { mem.RegisterKind(func() mem.Config { return cfg }) })
+	if !strings.Contains(msg, "outside its namespace") {
+		t.Fatalf("panic %q lacks the namespace-prefix diagnosis", msg)
+	}
+}
+
+func TestRegisterKindRejectsDuplicate(t *testing.T) {
+	cfg := fakeConfig{kind: "hmc"}
+	msg := mustPanic(t, func() { mem.RegisterKind(func() mem.Config { return cfg }) })
+	if !strings.Contains(msg, "registered twice") {
+		t.Fatalf("panic %q lacks the duplicate diagnosis", msg)
+	}
+}
+
+func TestRegisterKindRejectsEmptyKindAndInvalidDefault(t *testing.T) {
+	msg := mustPanic(t, func() {
+		mem.RegisterKind(func() mem.Config { return fakeConfig{kind: ""} })
+	})
+	if !strings.Contains(msg, "empty kind") {
+		t.Fatalf("panic %q lacks the empty-kind diagnosis", msg)
+	}
+	msg = mustPanic(t, func() {
+		mem.RegisterKind(func() mem.Config {
+			return fakeConfig{kind: "fake", invalid: errors.New("geometry broken")}
+		})
+	})
+	if !strings.Contains(msg, "geometry broken") {
+		t.Fatalf("panic %q does not carry the Validate error", msg)
+	}
+}
+
+// TestRegistryUnpolluted: the rejection probes above must not have
+// appended anything.
+func TestRegistryUnpolluted(t *testing.T) {
+	if got := len(mem.Kinds()); got != 4 {
+		t.Fatalf("registry holds %d kinds after rejection probes, want 4: %v", got, mem.Kinds())
+	}
+}

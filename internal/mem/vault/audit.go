@@ -1,0 +1,95 @@
+package vault
+
+import "fmt"
+
+// Sanitizer support: the system keeps redundant views of the same
+// activity — aggregate link-byte counters next to per-transfer lane
+// reservations, row-buffer outcomes next to per-request accounting, and
+// an aggregate instruction counter next to a per-vault issue ledger.
+// Audit cross-checks them; all methods are read-only so an audited run
+// is byte-identical to an unaudited one.
+
+// audit verifies that no epoch slot was reserved past the lane's byte
+// budget. Slots are lazily recycled; stale slots were validated when
+// written, which keeps the whole-buffer sweep sound.
+func (l *byteLane) audit(name string) error {
+	const eps = 1e-6
+	for slot, load := range l.epochs {
+		if load < -eps || load > l.epochBudget+eps {
+			return fmt.Errorf("%s link lane epoch slot %d (epoch %d) holds %g bytes, budget %g",
+				name, slot, l.epochIdx[slot], load, l.epochBudget)
+		}
+	}
+	return nil
+}
+
+// Audit implements mem.Backend: link-lane budgets, byte conservation
+// against the per-kind request counters, the row-buffer outcome
+// partition, and the per-vault issue-accounting identities.
+func (s *System) Audit(now uint64) error {
+	if err := s.reqLink.audit("request"); err != nil {
+		return err
+	}
+	if err := s.rspLink.audit("response"); err != nil {
+		return err
+	}
+	reads := s.ctr.reads.Value()
+	writes := s.ctr.writes.Value()
+	ucReads := s.ctr.ucReads.Value()
+	ucWrites := s.ctr.ucWrites.Value()
+	atomics := s.ctr.atomics.Value()
+	bundles := s.ctr.bundles.Value()
+
+	// Request direction carries line writebacks plus one packet per UC
+	// write and per atomic; response direction carries line fills plus
+	// one packet per UC read and per atomic acknowledgment.
+	if got, want := s.ctr.reqBytes.Value(), writes*lineBytes+(ucWrites+atomics)*packetBytes; got != want {
+		return fmt.Errorf("vault.link.req_bytes = %d but per-request transfers sum to %d (writes=%d uc=%d atomics=%d)",
+			got, want, writes, ucWrites, atomics)
+	}
+	if got, want := s.ctr.rspBytes.Value(), reads*lineBytes+(ucReads+atomics)*packetBytes; got != want {
+		return fmt.Errorf("vault.link.rsp_bytes = %d but per-request transfers sum to %d (reads=%d uc=%d atomics=%d)",
+			got, want, reads, ucReads, atomics)
+	}
+
+	// Each bank access — atomics sense their operand exactly once —
+	// resolves to exactly one row-buffer outcome.
+	total := reads + writes + ucReads + ucWrites + atomics
+	activates, hits, conflicts := s.ctr.activates.Value(), s.ctr.rowHits.Value(), s.ctr.rowConflicts.Value()
+	if activates+hits != total {
+		return fmt.Errorf("vault.dram.activates+row_hits = %d+%d but %d accesses served", activates, hits, total)
+	}
+	if conflicts > activates {
+		return fmt.Errorf("vault.dram.row_conflicts = %d exceeds activates %d", conflicts, activates)
+	}
+
+	// Generic bundles are a subset of atomics, and every issued
+	// instruction holds its core for exactly the issue gap.
+	if bundles > atomics {
+		return fmt.Errorf("vault.bundles = %d exceeds atomics %d", bundles, atomics)
+	}
+	instrs := s.ctr.coreInstrs.Value()
+	if got, want := s.ctr.coreBusy.Value(), instrs*s.cfg.IssueGap; got != want {
+		return fmt.Errorf("vault.core.busy_cycles = %d but %d instructions at issue gap %d give %d",
+			got, instrs, s.cfg.IssueGap, want)
+	}
+
+	// The per-vault issue ledger must sum to the aggregate instruction
+	// counter — a dropped or double-counted vault shows up here.
+	var ledger uint64
+	for _, n := range s.vaultInstrs {
+		ledger += n
+	}
+	if ledger != instrs {
+		return fmt.Errorf("per-vault issue ledger sums to %d instructions but vault.core.instrs = %d", ledger, instrs)
+	}
+	return nil
+}
+
+// CorruptLinkLaneForTest over-reserves one request-lane epoch so
+// fault-injection tests can prove the lane audit catches budget
+// violations. Test-only; never call from simulation code.
+func (s *System) CorruptLinkLaneForTest() {
+	s.reqLink.epochs[0] = 2 * s.reqLink.epochBudget
+	s.reqLink.epochIdx[0] = 0
+}

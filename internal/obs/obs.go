@@ -191,6 +191,11 @@ type EnvInfo struct {
 	// spill pipeline (DESIGN.md §13). Results are byte-identical either
 	// way; recorded for provenance like Shards.
 	Stream bool `json:"stream,omitempty"`
+	// Memory is the memory backend kind the machines were assembled
+	// against ("" means the default HMC chain). Unlike Shards/Stream it
+	// changes simulated numbers, so replay must rebuild the same
+	// backend.
+	Memory string `json:"memory,omitempty"`
 	// NumCPU and Gomaxprocs record the host the run was produced on, so
 	// committed results (manifests, BENCH_*.json) carry machine
 	// provenance. Neither affects any simulated number.

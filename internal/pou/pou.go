@@ -101,6 +101,15 @@ type Caps interface {
 	CanOffload(op hmcatomic.Op) bool
 }
 
+// BundleCaps is the optional second capability tier: a backend with
+// general-purpose near-memory cores (UPMEM-style vault processors)
+// accepts whole read-modify-write bundles for atomics that have no
+// fixed-function PIM command. Route probes for it per command;
+// mem.BundleBackend satisfies it structurally.
+type BundleCaps interface {
+	CanOffloadBundle() bool
+}
+
 // Unit is one core's PIM offloading unit.
 type Unit struct {
 	cfg   Config
@@ -136,6 +145,16 @@ type Decision struct {
 	// data), tracked for the Fig. 10 cache-miss-rate analysis in every
 	// configuration including Baseline.
 	Candidate bool
+	// Bundle marks a PathPIM decision routed through the general-purpose
+	// bundle tier (BundleCaps) rather than a fixed-function command; Op
+	// is unset.
+	Bundle bool
+	// Fallback marks a PathHostAtomic decision that would have offloaded
+	// but was vetoed by capability negotiation — the command maps to a
+	// PIM op (kept in Op for attribution) and the substrate declined it.
+	// The machine counts these so degradation is visible in stats
+	// instead of silently simulating host atomics.
+	Fallback bool
 }
 
 // inActivePMR reports whether addr is governed by PMR semantics this run.
@@ -158,18 +177,26 @@ func (u *Unit) Route(in trace.Instr) Decision {
 		}
 		op, ok := in.Atomic.PIMOp(u.cfg.ExtendedAtomics)
 		if !ok {
-			// Unmappable atomic inside an active PMR: the framework
-			// avoids this by construction (it only activates the PMR
-			// for applicable workloads); fall back to the host path,
-			// which models the bus-lock degradation the paper warns
-			// about via the UC access cost in the machine layer.
+			// Unmappable atomic inside an active PMR. A substrate with
+			// general-purpose near-memory cores still offloads it as a
+			// whole read-modify-write bundle (the second capability
+			// tier); otherwise the framework avoids this by construction
+			// (it only activates the PMR for applicable workloads) and
+			// the access falls back to the host path, which models the
+			// bus-lock degradation the paper warns about via the UC
+			// access cost in the machine layer.
+			if bc, isBundle := u.caps.(BundleCaps); isBundle && bc.CanOffloadBundle() {
+				return Decision{Path: PathPIM, Candidate: cand, Bundle: true}
+			}
 			return Decision{Path: PathHostAtomic, Candidate: cand}
 		}
 		if u.caps != nil && !u.caps.CanOffload(op) {
 			// The command maps, but the substrate cannot execute it
 			// near memory (no PIM units at all, or no FP unit for the
-			// extension commands): execute host-side.
-			return Decision{Path: PathHostAtomic, Candidate: cand}
+			// extension commands): execute host-side, marked as a
+			// negotiation fallback so the run's stats expose the
+			// degradation.
+			return Decision{Path: PathHostAtomic, Op: op, Candidate: cand, Fallback: true}
 		}
 		return Decision{Path: PathPIM, Op: op, Candidate: cand}
 	default:

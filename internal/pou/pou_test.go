@@ -153,6 +153,83 @@ func TestComplexAtomicNeverOffloads(t *testing.T) {
 	}
 }
 
+// TestFallbackMarking pins the attribution contract for capability
+// fallbacks: a caps-vetoed atomic carries Fallback=true and keeps its
+// mapped op so the machine can count pou.fallbacks.<op>; accepted ops
+// and unmappable ops (which never negotiated a command) do not.
+func TestFallbackMarking(t *testing.T) {
+	f := newFixture()
+	u := NewWithCaps(GraphPIM(true), f.space, fpLessCaps{})
+	d := u.Route(atomic(f.pmrAddr, trace.AtomicFPAdd, memmap.RegionProperty))
+	if !d.Fallback {
+		t.Error("caps-vetoed atomic not marked Fallback")
+	}
+	if d.Op != hmcatomic.ExtFPAdd64 {
+		t.Errorf("fallback lost op attribution: %v", d.Op)
+	}
+	if d = u.Route(atomic(f.pmrAddr, trace.AtomicAdd, memmap.RegionProperty)); d.Fallback {
+		t.Error("accepted atomic spuriously marked Fallback")
+	}
+	if d = u.Route(atomic(f.pmrAddr, trace.AtomicComplex, memmap.RegionProperty)); d.Fallback {
+		t.Error("unmappable atomic marked Fallback (no command was negotiated)")
+	}
+	// FP without the extension is a mapping miss, not a capability veto.
+	plain := NewWithCaps(GraphPIM(false), f.space, fpLessCaps{})
+	if d = plain.Route(atomic(f.pmrAddr, trace.AtomicFPAdd, memmap.RegionProperty)); d.Fallback {
+		t.Error("extensionless FP atomic marked Fallback")
+	}
+}
+
+// bundleCaps models a general-purpose vault-core backend that accepts
+// whole RMW bundles in addition to the fixed-function command set.
+type bundleCaps struct{ accept bool }
+
+func (bundleCaps) CanOffload(op hmcatomic.Op) bool { return true }
+func (b bundleCaps) CanOffloadBundle() bool        { return b.accept }
+
+// TestBundleTierNegotiation pins the bundle capability tier: an atomic
+// with no HMC command mapping offloads as a bundle when (and only when)
+// the backend advertises the tier, and mappable ops keep using the
+// fixed-function path even on a bundle-capable backend.
+func TestBundleTierNegotiation(t *testing.T) {
+	f := newFixture()
+	in := atomic(f.pmrAddr, trace.AtomicComplex, memmap.RegionProperty)
+
+	u := NewWithCaps(GraphPIM(true), f.space, bundleCaps{accept: true})
+	d := u.Route(in)
+	if d.Path != PathPIM || !d.Bundle {
+		t.Errorf("bundle-capable backend: complex atomic routed %+v, want PIM bundle", d)
+	}
+	if !d.Candidate {
+		t.Error("bundle offload lost its candidate mark")
+	}
+	// Mappable ops stay on the fixed-function command path.
+	if d = u.Route(atomic(f.pmrAddr, trace.AtomicAdd, memmap.RegionProperty)); d.Path != PathPIM || d.Bundle {
+		t.Errorf("mappable atomic on bundle-capable backend: %+v, want plain PIM", d)
+	}
+	// FP without the extension still offloads — as a bundle — because the
+	// scalar core does not care about the HMC command encoding.
+	noExt := NewWithCaps(GraphPIM(false), f.space, bundleCaps{accept: true})
+	if d = noExt.Route(atomic(f.pmrAddr, trace.AtomicFPAdd, memmap.RegionProperty)); d.Path != PathPIM || !d.Bundle {
+		t.Errorf("extensionless FP atomic on bundle-capable backend: %+v, want PIM bundle", d)
+	}
+
+	// A backend declaring the interface but refusing falls back to host.
+	refuse := NewWithCaps(GraphPIM(true), f.space, bundleCaps{accept: false})
+	if d = refuse.Route(in); d.Path != PathHostAtomic || d.Bundle {
+		t.Errorf("bundle-refusing backend: %+v, want host", d)
+	}
+	// Caps without the interface (fixed-function only) fall back to host.
+	fixed := NewWithCaps(GraphPIM(true), f.space, fpLessCaps{})
+	if d = fixed.Route(in); d.Path != PathHostAtomic || d.Bundle {
+		t.Errorf("fixed-function backend: %+v, want host", d)
+	}
+	// Nil caps (plain New) has no bundle tier either.
+	if d = New(GraphPIM(true), f.space).Route(in); d.Path != PathHostAtomic || d.Bundle {
+		t.Errorf("nil-caps backend: %+v, want host", d)
+	}
+}
+
 func TestComputeAndBarrierRouteToCache(t *testing.T) {
 	f := newFixture()
 	u := New(GraphPIM(true), f.space)
