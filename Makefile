@@ -41,14 +41,15 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz '^FuzzLinkLaneReserve$$' -fuzztime $(FUZZTIME) ./internal/hmc/
 	$(GO) test -run '^$$' -fuzz '^FuzzTimeq$$' -fuzztime $(FUZZTIME) ./internal/cpu/
 
-# bench-json records the graph-construction benchmark pair (best of 3
-# reps) into the committed trajectory file BENCH_pr8.json. Both arms
-# build the identical LDBC-1M graph; peak-bytes is the legacy
-# materialize-then-sort path vs the streaming two-pass build. Run it
-# after a performance-relevant change and commit the updated file.
+# bench-json records the current PR's benchmark set (best of 3 reps)
+# into its committed trajectory file. For PR 10 that is the SpMV
+# trace-generation benchmark — the hot emit path of the GNN/SpMV
+# workload family. Run it after a performance-relevant change and
+# commit the updated file. (Earlier trajectories: BENCH_pr8.json held
+# BenchmarkGraphBuild for the streaming builder PR.)
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_pr8.json -phase after \
-		-bench 'BenchmarkGraphBuild'
+	$(GO) run ./cmd/benchjson -out BENCH_pr10.json -phase after \
+		-pkg ./internal/workloads/ -bench 'BenchmarkSpMVAggregation'
 
 # smoke-stream runs the million-vertex streaming smoke test under a
 # constrained GC target: a 1M-vertex BFS traced through the spill

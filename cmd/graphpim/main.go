@@ -6,21 +6,25 @@
 //	graphpim list
 //	    List every experiment (paper table/figure reproductions).
 //
-//	graphpim run [-quick] [-vertices N] [-seed S] [-mem KIND] [-format F] [-out DIR] all|<id>...
+//	graphpim run [-quick] [-vertices N] [-seed S] [-mem KIND] [-policy P] [-format F] [-out DIR] all|<id>...
 //	    Run experiments and print their tables. "all" runs the full
 //	    evaluation in paper order. -mem swaps the memory backend every
-//	    simulation runs against (hmc|ddr|lpddr|vault). -out writes one
+//	    simulation runs against (hmc|ddr|lpddr|vault). -policy overrides
+//	    the offload placement of every non-baseline cell (auto|host|pim|
+//	    upei; "auto" is the internal/tune profiler). -out writes one
 //	    JSONL record file per experiment plus a manifest.json, from which
 //	    `graphpim replay` regenerates every table without re-simulating.
 //
 //	graphpim replay -in DIR [all|<id>...]
 //	    Regenerate experiment tables from a recorded run directory.
 //
-//	graphpim workload [-quick] [-vertices N] [-config baseline|upei|graphpim] [-mem KIND] <name>
+//	graphpim workload [-quick] [-vertices N] [-config baseline|upei|graphpim] [-mem KIND] [-policy P] <name>
 //	    Simulate one GraphBIG workload and print its headline numbers.
 //	    -mem swaps the memory backend (hmc|ddr|lpddr|vault); on the
 //	    PIM-less ddr backend, offload configurations degrade gracefully
-//	    to the conventional datapath.
+//	    to the conventional datapath. -policy overrides -config with a
+//	    placement policy ("auto" profiles the graph and trace and prints
+//	    the tuner's reasoning).
 package main
 
 import (
@@ -120,7 +124,11 @@ run/workload flags:
   -memprofile F    write a heap profile taken after the experiment run
   -config C        workload config: baseline|upei|graphpim (workload cmd)
   -mem M           memory backend kind: hmc|ddr|lpddr|vault (run + workload cmds;
-                   ddr has no PIM units, offload configs degrade gracefully)`)
+                   ddr has no PIM units, offload configs degrade gracefully)
+  -policy P        placement policy override for offload configs (run + workload
+                   cmds): host|pim|upei pin the placement, auto profiles the
+                   graph/trace and lets the tuner decide; baselines are never
+                   remapped (they stay the speedup denominators)`)
 }
 
 // writeExperimentList prints every experiment in registry order — the
@@ -180,6 +188,18 @@ func flagValues(fs *flag.FlagSet) map[string]string {
 	return m
 }
 
+// checkPolicy validates a -policy flag value; an unknown policy reports
+// the valid values and returns false for a usage (exit 2) failure.
+func checkPolicy(sub, policy string, stderr io.Writer) bool {
+	switch policy {
+	case "", "auto", "host", "pim", "upei":
+		return true
+	}
+	fmt.Fprintf(stderr, "%s: unknown placement policy %q\n", sub, policy)
+	fmt.Fprintln(stderr, "valid policies: auto, host, pim, upei")
+	return false
+}
+
 // checkMemKind validates a -mem flag value against the backend registry;
 // an unknown kind reports the valid kinds in registry order (mirroring
 // the unknown-experiment-id behaviour) and returns false for a usage
@@ -231,10 +251,14 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 	shards := fs.Int("shards", 1, "scheduler shards per simulation (1 serial, 0 auto)")
 	stream := fs.Bool("stream", false, "stream traces through a bounded spill file (identical output, lower peak memory)")
 	memKind := fs.String("mem", "hmc", "memory backend kind for every simulation")
+	policy := fs.String("policy", "", "placement policy override for offload cells: auto|host|pim|upei")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if !checkMemKind("run", *memKind, stderr) {
+		return 2
+	}
+	if !checkPolicy("run", *policy, stderr) {
 		return 2
 	}
 	if *workers < 1 {
@@ -272,6 +296,7 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 		// their historical (field-absent) shape.
 		env.Memory = *memKind
 	}
+	env.Policy = *policy
 	defer env.Close()
 	if !*quiet {
 		env.Reporter = obs.NewTextReporter(stderr)
@@ -464,6 +489,7 @@ func cmdWorkload(args []string, stdout, stderr io.Writer) int {
 	vertices := fs.Int("vertices", 16384, "LDBC graph size")
 	seed := fs.Uint64("seed", 7, "generator seed")
 	config := fs.String("config", "graphpim", "baseline|upei|graphpim")
+	policy := fs.String("policy", "", "placement policy override: auto|host|pim|upei")
 	memKind := fs.String("mem", "hmc", "memory backend kind")
 	checkOn := fs.Bool("check", false, "enable simulation sanitizer audits (slower, identical output)")
 	shards := fs.Int("shards", 1, "scheduler shards per simulation (1 serial, 0 auto)")
@@ -482,6 +508,9 @@ func cmdWorkload(args []string, stdout, stderr io.Writer) int {
 	if !checkMemKind("workload", *memKind, stderr) {
 		return 2
 	}
+	if !checkPolicy("workload", *policy, stderr) {
+		return 2
+	}
 	if *quick {
 		*vertices = 2048
 	}
@@ -495,6 +524,7 @@ func cmdWorkload(args []string, stdout, stderr io.Writer) int {
 	opts.Memory = *memKind
 	opts.Shards = resolveShards(*shards)
 	opts.Stream = *stream
+	opts.Policy = *policy
 	if err := opts.Validate(); err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2
@@ -542,5 +572,13 @@ func cmdWorkload(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "offloaded:  %d PIM atomics, %d host atomics\n",
 		res.Stats["mem.pim_atomics"], res.Stats["mem.host_atomics"])
+	if *policy == "auto" && cfg != graphpim.ConfigBaseline {
+		placement := [...]string{"host", "pim", "upei"}[res.Stats["tune.placement"]]
+		fmt.Fprintf(stdout, "tuner:      placed on %s (degree CV %.2f, footprint %.2fx LLC, %.2f atomics/kinstr)\n",
+			placement,
+			float64(res.Stats["tune.degree_cv_milli"])/1000,
+			float64(res.Stats["tune.footprint_ratio_milli"])/1000,
+			float64(res.Stats["tune.atomics_per_kinstr_milli"])/1000)
+	}
 	return 0
 }

@@ -108,6 +108,44 @@ func TestReplayMissingDirExitsTwo(t *testing.T) {
 	}
 }
 
+// TestWorkloadUnknownNameExitsTwo: an unknown workload name is a usage
+// error — exit 2 with every valid name listed in registry order, so the
+// user never has to guess the spelling.
+func TestWorkloadUnknownNameExitsTwo(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"workload", "-quick", "Bogus"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2; stderr:\n%s", code, stderr.String())
+	}
+	msg := stderr.String()
+	if !strings.Contains(msg, `"Bogus"`) {
+		t.Fatalf("error does not name the bad input: %q", msg)
+	}
+	var names []string
+	for _, w := range graphpim.RegistryWorkloads() {
+		names = append(names, w.Info().Name)
+	}
+	if want := strings.Join(names, ", "); !strings.Contains(msg, want) {
+		t.Fatalf("error does not list valid names in registry order:\n%s\nwant list: %s", msg, want)
+	}
+}
+
+// TestPolicyFlagValidation: -policy rejects unknown values with a usage
+// error on both subcommands.
+func TestPolicyFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"run", "-quick", "-policy", "bogus", "ext-autotune"},
+		{"workload", "-quick", "-policy", "bogus", "BFS"},
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Fatalf("%v: exit code = %d, want 2; stderr:\n%s", args, code, stderr.String())
+		}
+		if msg := stderr.String(); !strings.Contains(msg, `"bogus"`) || !strings.Contains(msg, "auto, host, pim, upei") {
+			t.Fatalf("%v: error does not list valid policies: %q", args, msg)
+		}
+	}
+}
+
 // TestCheckFlagOutputIdentity is the CLI half of the sanitizer's
 // zero-perturbation contract: `run -check` must produce byte-identical
 // stdout to a plain run, at any worker count.

@@ -33,7 +33,9 @@ import (
 	"graphpim/internal/harness"
 	"graphpim/internal/machine"
 	"graphpim/internal/mem"
+	"graphpim/internal/pou"
 	"graphpim/internal/trace"
+	"graphpim/internal/tune"
 	"graphpim/internal/workloads"
 )
 
@@ -86,6 +88,13 @@ type (
 	FDOutput = workloads.FDOutput
 	// RSOutput holds item similarities and top recommendations.
 	RSOutput = workloads.RSOutput
+	// SpMVOutput holds the SpMV-formulated PageRank vector.
+	SpMVOutput = workloads.SpMVOutput
+	// GNNOutput holds aggregated per-vertex feature vectors (GNN
+	// mean/max neighbor aggregation).
+	GNNOutput = workloads.GNNOutput
+	// TCFeatOutput holds triangle counts plus corner-feature sums.
+	TCFeatOutput = workloads.TCFeatOutput
 )
 
 // Config selects one of the paper's three system configurations.
@@ -153,11 +162,22 @@ var (
 	NewTMorph         = workloads.NewTMorph
 	NewFraudDetection = workloads.NewFraudDetection
 	NewRecommender    = workloads.NewRecommender
-	// AllWorkloads returns the full suite; EvalWorkloads the eight of
-	// the evaluation figures; WorkloadByName looks one up.
-	AllWorkloads   = workloads.All
-	EvalWorkloads  = workloads.EvalSet
-	WorkloadByName = workloads.ByName
+	// GNN/SpMV family (DESIGN.md §16): SpMV-formulated PageRank, GNN
+	// mean/max neighbor-feature aggregation over FeatDims-wide vectors,
+	// and feature-vector triangle counting.
+	NewSpMV    = workloads.NewSpMV
+	NewGNNMean = workloads.NewGNNMean
+	NewGNNMax  = workloads.NewGNNMax
+	NewTCFeat  = workloads.NewTCFeat
+	// AllWorkloads returns the Table III suite; GNNWorkloads the
+	// GNN/SpMV family; RegistryWorkloads both; EvalWorkloads the eight
+	// of the evaluation figures; WorkloadByName looks one up across the
+	// whole registry.
+	AllWorkloads      = workloads.All
+	GNNWorkloads      = workloads.GNNSet
+	RegistryWorkloads = workloads.Registry
+	EvalWorkloads     = workloads.EvalSet
+	WorkloadByName    = workloads.ByName
 )
 
 // Options configures a Run.
@@ -198,6 +218,17 @@ type Options struct {
 	// drops from O(trace) to O(graph + chunk buffers), which is what
 	// lets million-vertex graphs simulate in a small container.
 	Stream bool
+	// Policy overrides Execute's Config argument with a placement
+	// policy whenever that argument is not ConfigBaseline (the baseline
+	// stays the speedup denominator, mirroring the harness rule):
+	// "host"/"pim"/"upei" pin the corresponding static configuration,
+	// and "auto" profiles the built graph and trace with internal/tune —
+	// degree skew, property footprint vs LLC, atomic density — and runs
+	// whichever placement the tuner picks. The decision's features land
+	// in Result.Stats as tune.* counters and its name in Result.Config
+	// ("Auto(GraphPIM)" etc.). "" (the default) keeps the Config
+	// argument.
+	Policy string
 }
 
 // Validate reports an out-of-range option. NewRun panics on invalid
@@ -215,6 +246,11 @@ func (o Options) Validate() error {
 	}
 	if o.Shards < 0 {
 		return fmt.Errorf("graphpim: shard count %d must be non-negative", o.Shards)
+	}
+	switch o.Policy {
+	case "", "auto", "host", "pim", "upei":
+	default:
+		return fmt.Errorf("graphpim: unknown placement policy %q (valid: auto, host, pim, upei)", o.Policy)
 	}
 	return nil
 }
@@ -272,6 +308,58 @@ func (r *Run) machineConfig(cfg Config, w Workload) machine.Config {
 	return mc
 }
 
+// resolveConfig applies Options.Policy to one execution: static
+// placements remap the config, "auto" profiles the built graph and
+// trace and asks the tuner. ConfigBaseline is never remapped — it stays
+// the speedup denominator. The non-nil Decision carries the features
+// noteDecision folds into the result's stats.
+func (r *Run) resolveConfig(w Workload, cfg Config, fw *gframe.Framework, src trace.Source) (machine.Config, *tune.Decision) {
+	if cfg != ConfigBaseline {
+		switch r.opts.Policy {
+		case "host":
+			cfg = ConfigBaseline
+		case "pim":
+			cfg = ConfigGraphPIM
+		case "upei":
+			cfg = ConfigUPEI
+		case "auto":
+			probe := r.machineConfig(ConfigGraphPIM, w)
+			_, _, propBytes := fw.Space().Footprint()
+			ext := r.opts.ExtendedAtomics || w.Info().NeedsFPExtension
+			f := tune.Profile(fw.Graph(), propBytes, uint64(probe.Cache.L3Size),
+				tune.TotalCounts(src), ext)
+			d := tune.Choose(f, probe.Substrate())
+			chosen := ConfigBaseline
+			switch d.Placement {
+			case tune.PlacePIM:
+				chosen = ConfigGraphPIM
+			case tune.PlaceUPEI:
+				chosen = ConfigUPEI
+			}
+			mc := r.machineConfig(chosen, w)
+			// Freeze the fully-resolved POU configuration (PMR activation
+			// included) into a static policy under the tuner's name, so
+			// the machine executes exactly what the static config would.
+			mc.Name = "Auto(" + mc.Name + ")"
+			mc.Policy = pou.NewStatic(mc.Name, mc.POU)
+			return mc, &d
+		}
+	}
+	return r.machineConfig(cfg, w), nil
+}
+
+// noteDecision folds a tuner decision's counters into a result's stats
+// map, so callers (and the CLI's tuner line) can explain the placement.
+func noteDecision(res Result, d *tune.Decision) Result {
+	if d == nil {
+		return res
+	}
+	for k, v := range d.Counters() {
+		res.Stats[k] = v
+	}
+	return res
+}
+
 // Execute runs w under cfg and returns the timing result. The workload's
 // functional output is discarded; use ExecuteFull to keep it.
 func (r *Run) Execute(w Workload, cfg Config) Result {
@@ -293,7 +381,9 @@ func (r *Run) ExecuteFull(w Workload, cfg Config) (Result, any) {
 	}
 	fw := gframe.New(r.g, r.opts.Threads, gframe.DefaultCostModel())
 	out := w.Run(fw)
-	res := machine.RunTrace(r.machineConfig(cfg, w), fw.Space(), fw.Trace())
+	tr := fw.Trace()
+	mc, dec := r.resolveConfig(w, cfg, fw, tr)
+	res := noteDecision(machine.RunTrace(mc, fw.Space(), tr), dec)
 	return res, out.Output
 }
 
@@ -321,7 +411,8 @@ func (r *Run) executeStreamed(w Workload, cfg Config) (Result, any, error) {
 	if err != nil {
 		return Result{}, nil, err
 	}
-	res := machine.RunSource(r.machineConfig(cfg, w), fw.Space(), st)
+	mc, dec := r.resolveConfig(w, cfg, fw, st)
+	res := noteDecision(machine.RunSource(mc, fw.Space(), st), dec)
 	return res, out.Output, nil
 }
 

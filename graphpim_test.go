@@ -1,6 +1,8 @@
 package graphpim
 
 import (
+	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -55,6 +57,72 @@ func TestExperimentRegistryViaFacade(t *testing.T) {
 	}
 	if _, err := RunExperiment("nope", nil); err == nil {
 		t.Fatal("unknown experiment did not error")
+	}
+}
+
+// TestGNNFamilyExecutionIdentity: every GNN/SpMV-family workload must
+// produce identical timing results AND identical functional output
+// across scheduler shard counts and across the materialized/streamed
+// trace pipelines — the same byte-identity contract the Table III suite
+// holds (DESIGN.md §12-13), extended to the new family.
+func TestGNNFamilyExecutionIdentity(t *testing.T) {
+	g := GenerateLDBC(512, 7)
+	for _, mk := range []func() Workload{
+		func() Workload { return NewSpMV(2) },
+		func() Workload { return NewGNNMean(4) },
+		func() Workload { return NewGNNMax(4) },
+		func() Workload { return NewTCFeat(4) },
+	} {
+		name := mk().Info().Name
+		refOpts := DefaultOptions()
+		refRes, refOut := NewRun(g, refOpts).ExecuteFull(mk(), ConfigGraphPIM)
+		for _, v := range []struct {
+			label  string
+			shards int
+			stream bool
+		}{
+			{"shards=4", 4, false},
+			{"stream", 0, true},
+			{"shards=4+stream", 4, true},
+		} {
+			opts := refOpts
+			opts.Shards = v.shards
+			opts.Stream = v.stream
+			res, out := NewRun(g, opts).ExecuteFull(mk(), ConfigGraphPIM)
+			if !reflect.DeepEqual(res, refRes) {
+				t.Fatalf("%s/%s: timing result diverges from serial materialized run", name, v.label)
+			}
+			if !reflect.DeepEqual(out, refOut) {
+				t.Fatalf("%s/%s: functional output diverges from serial materialized run", name, v.label)
+			}
+		}
+	}
+}
+
+// TestAutoPolicyViaFacade: Options.Policy="auto" must resolve to one of
+// the static placements, record the choice in Result.Config, and explain
+// it through the tune.* counters.
+func TestAutoPolicyViaFacade(t *testing.T) {
+	g := GenerateLDBC(512, 7)
+	opts := DefaultOptions()
+	opts.Policy = "auto"
+	res := NewRun(g, opts).Execute(NewGNNMean(4), ConfigGraphPIM)
+	if !strings.HasPrefix(res.Config, "Auto(") {
+		t.Fatalf("auto run config = %q, want Auto(...)", res.Config)
+	}
+	if _, ok := res.Stats["tune.placement"]; !ok {
+		t.Fatal("auto run did not record tune.* counters")
+	}
+	// The baseline argument is exempt from policy remapping: it stays
+	// the denominator.
+	base := NewRun(g, opts).Execute(NewGNNMean(4), ConfigBaseline)
+	if base.Config != "Baseline" {
+		t.Fatalf("baseline remapped under auto policy: %q", base.Config)
+	}
+	bad := DefaultOptions()
+	bad.Policy = "bogus"
+	if err := bad.Validate(); err == nil {
+		t.Fatal("bogus policy validated")
 	}
 }
 

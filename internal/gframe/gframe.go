@@ -498,6 +498,18 @@ func (c *Ctx) AtomicMin(p *Property, v graph.VID, x uint64) bool {
 	return ok
 }
 
+// AtomicMax raises a property element to x if larger (the CAS-if-greater
+// block mirroring AtomicMin; GNN max-pooling aggregation). Returns
+// whether the value changed.
+func (c *Ctx) AtomicMax(p *Property, v graph.VID, x uint64) bool {
+	ok := x > p.vals[v]
+	c.e.Atomic(trace.AtomicMax, p.Addr(v), int(p.elem), false, true, !ok)
+	if ok {
+		p.vals[v] = x
+	}
+	return ok
+}
+
 // AtomicAdd adds a signed delta to a property element (lock add/sub).
 // The return value is unused, so the operation can be posted.
 func (c *Ctx) AtomicAdd(p *Property, v graph.VID, delta int64) {

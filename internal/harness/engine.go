@@ -283,6 +283,7 @@ func (e *Env) Info() obs.EnvInfo {
 		Shards:       e.Shards,
 		Stream:       e.Stream,
 		Memory:       e.Memory,
+		Policy:       e.Policy,
 		NumCPU:       runtime.NumCPU(),
 		Gomaxprocs:   runtime.GOMAXPROCS(0),
 	}
@@ -302,5 +303,6 @@ func EnvFromInfo(info obs.EnvInfo) *Env {
 		Shards:       info.Shards,
 		Stream:       info.Stream,
 		Memory:       info.Memory,
+		Policy:       info.Policy,
 	}
 }

@@ -28,7 +28,9 @@ import (
 	"graphpim/internal/mem"
 	_ "graphpim/internal/mem/backends" // register built-in backend kinds
 	"graphpim/internal/obs"
+	"graphpim/internal/pou"
 	"graphpim/internal/trace"
+	"graphpim/internal/tune"
 	"graphpim/internal/workloads"
 )
 
@@ -40,6 +42,13 @@ const (
 	KindBaseline ConfigKind = "Baseline"
 	KindUPEI     ConfigKind = "U-PEI"
 	KindGraphPIM ConfigKind = "GraphPIM"
+	// KindAuto is not a fixed configuration: the cell profiles its graph
+	// and trace with internal/tune and runs whichever static placement
+	// the tuner picks. The decision's features land in the cell's stats
+	// (tune.* counters) and the chosen name in Result.Config
+	// ("Auto(GraphPIM)" etc.), so recorded runs replay byte-identically
+	// without re-deciding.
+	KindAuto ConfigKind = "Auto"
 )
 
 // Env fixes the experiment scale and caches simulation artifacts so that
@@ -87,6 +96,14 @@ type Env struct {
 	// backend's default configuration). Unknown kinds panic in Config —
 	// the CLI validates against mem.Kinds() before constructing an Env.
 	Memory string
+	// Policy overrides the offload placement of every non-Baseline cell
+	// the experiments assemble: "" keeps each experiment's requested
+	// configurations (the default), "host"/"pim"/"upei" pin all offload
+	// cells to that static placement, and "auto" hands each cell to the
+	// internal/tune profiler. Baseline cells are never remapped — they
+	// stay the speedup denominators. The CLI validates values before
+	// constructing an Env; unknown values panic in policyKind.
+	Policy string
 	// Stream builds every trace through the bounded-buffer streaming
 	// pipeline (DESIGN.md §13): the generator spills v2-encoded chunks
 	// to an unlinked temp file instead of materializing []trace.Instr
@@ -419,6 +436,98 @@ func (e *Env) Trace(w workloads.Workload, vertices int) *tracedRun {
 	})
 }
 
+// policyKind applies the Env's placement-policy override to a requested
+// configuration kind. Baseline cells pass through untouched (they are
+// every experiment's speedup denominator); offload cells remap to the
+// pinned static kind or to KindAuto. Remapping happens before the memo
+// key is built, so e.g. -policy pim dedups U-PEI cells onto the
+// GraphPIM ones rather than simulating both.
+func (e *Env) policyKind(kind ConfigKind) ConfigKind {
+	if e.Policy == "" || kind == KindBaseline {
+		return kind
+	}
+	switch e.Policy {
+	case "auto":
+		return KindAuto
+	case "host":
+		return KindBaseline
+	case "pim":
+		return KindGraphPIM
+	case "upei":
+		return KindUPEI
+	}
+	panic(fmt.Sprintf("harness: unknown placement policy %q", e.Policy))
+}
+
+// kindForPlacement maps a tuner placement onto the static configuration
+// that executes it.
+func kindForPlacement(p tune.Placement) ConfigKind {
+	switch p {
+	case tune.PlacePIM:
+		return KindGraphPIM
+	case tune.PlaceUPEI:
+		return KindUPEI
+	default:
+		return KindBaseline
+	}
+}
+
+// configFor resolves one cell's machine configuration. Static kinds go
+// through Config (plus the caller's variant adjustment) unchanged;
+// KindAuto profiles the built graph and trace totals, asks the tuner
+// for a placement against the adjusted substrate, and rebuilds the
+// chosen static configuration — wrapped in a pou policy named after the
+// decision so Result.Config records what the tuner picked. The non-nil
+// Decision carries the features for stats injection.
+func (e *Env) configFor(kind ConfigKind, w workloads.Workload, tr *tracedRun,
+	adjust func(*machine.Config)) (machine.Config, *tune.Decision) {
+	if kind != KindAuto {
+		cfg := e.Config(kind, w)
+		if adjust != nil {
+			adjust(&cfg)
+		}
+		return cfg, nil
+	}
+	// Probe with the GraphPIM assembly: the tuner needs the cell's LLC
+	// capacity and memory substrate, both of which the variant
+	// adjustment may change (e.g. the backend-shootout kind swap).
+	probe := e.Config(KindGraphPIM, w)
+	if adjust != nil {
+		adjust(&probe)
+	}
+	_, _, propBytes := tr.fw.Space().Footprint()
+	f := tune.Profile(tr.fw.Graph(), propBytes, uint64(probe.Cache.L3Size),
+		tune.TotalCounts(tr.source()), w.Info().NeedsFPExtension)
+	d := tune.Choose(f, probe.Substrate())
+	cfg := e.Config(kindForPlacement(d.Placement), w)
+	if adjust != nil {
+		adjust(&cfg)
+	}
+	// Freeze the fully-resolved POU configuration (PMR activation
+	// included) into a static policy so the machine executes exactly the
+	// placement the static kind would, under the tuner's name.
+	cfg.Name = "Auto(" + cfg.Name + ")"
+	cfg.Policy = pou.NewStatic(cfg.Name, cfg.POU)
+	return cfg, &d
+}
+
+// noteDecision folds a tuner decision's counters into a result's stats
+// map so JSONL records (and therefore replays) explain the placement.
+func noteDecision(res machine.Result, d *tune.Decision) machine.Result {
+	if d == nil {
+		return res
+	}
+	stats := make(map[string]uint64, len(res.Stats)+4)
+	for k, v := range res.Stats {
+		stats[k] = v
+	}
+	for k, v := range d.Counters() {
+		stats[k] = v
+	}
+	res.Stats = stats
+	return res
+}
+
 // Run simulates w under the given configuration, memoizing results.
 func (e *Env) Run(w workloads.Workload, kind ConfigKind) machine.Result {
 	return e.RunSized(w, e.Vertices, kind)
@@ -426,10 +535,12 @@ func (e *Env) Run(w workloads.Workload, kind ConfigKind) machine.Result {
 
 // RunSized is Run at an explicit graph size.
 func (e *Env) RunSized(w workloads.Workload, vertices int, kind ConfigKind) machine.Result {
+	kind = e.policyKind(kind)
 	key := runKey{w.Info().Name, vertices, kind, w.Info().NeedsFPExtension, "", e.Seed}
 	return e.runCell(key, func() machine.Result {
 		tr := e.Trace(w, vertices)
-		return machine.RunSource(e.Config(kind, w), tr.fw.Space(), tr.source())
+		cfg, dec := e.configFor(kind, w, tr, nil)
+		return noteDecision(machine.RunSource(cfg, tr.fw.Space(), tr.source()), dec)
 	})
 }
 
@@ -437,12 +548,26 @@ func (e *Env) RunSized(w workloads.Workload, vertices int, kind ConfigKind) mach
 // under the variant label.
 func (e *Env) RunVariant(w workloads.Workload, kind ConfigKind, variant string,
 	adjust func(*machine.Config)) machine.Result {
+	kind = e.policyKind(kind)
 	key := runKey{w.Info().Name, e.Vertices, kind, w.Info().NeedsFPExtension, variant, e.Seed}
 	return e.runCell(key, func() machine.Result {
-		cfg := e.Config(kind, w)
-		adjust(&cfg)
 		tr := e.Trace(w, e.Vertices)
-		return machine.RunSource(cfg, tr.fw.Space(), tr.source())
+		cfg, dec := e.configFor(kind, w, tr, adjust)
+		return noteDecision(machine.RunSource(cfg, tr.fw.Space(), tr.source()), dec)
+	})
+}
+
+// RunAutoVariant simulates w with the autotuner choosing the placement
+// regardless of Env.Policy — the ext-autotune experiment's entry point.
+// adjust applies to the profiling probe and the chosen configuration
+// alike, so backend swaps steer the decision.
+func (e *Env) RunAutoVariant(w workloads.Workload, variant string,
+	adjust func(*machine.Config)) machine.Result {
+	key := runKey{w.Info().Name, e.Vertices, KindAuto, w.Info().NeedsFPExtension, variant, e.Seed}
+	return e.runCell(key, func() machine.Result {
+		tr := e.Trace(w, e.Vertices)
+		cfg, dec := e.configFor(KindAuto, w, tr, adjust)
+		return noteDecision(machine.RunSource(cfg, tr.fw.Space(), tr.source()), dec)
 	})
 }
 

@@ -193,8 +193,8 @@ func TestFig17RunsBothApps(t *testing.T) {
 
 func TestExtrasRegistered(t *testing.T) {
 	extras := Extras()
-	if len(extras) != 8 {
-		t.Fatalf("extras = %d, want 8", len(extras))
+	if len(extras) != 9 {
+		t.Fatalf("extras = %d, want 9", len(extras))
 	}
 	for _, ex := range extras {
 		if ex.ID == "" || ex.Run == nil {

@@ -47,6 +47,13 @@ type Config struct {
 	HMC hmcbackend.CubeConfig
 	POU pou.Config
 
+	// Policy overrides POU with a placement policy: when non-nil, the
+	// assembled machine's POU configuration is Policy.Place(substrate)
+	// instead of the negotiated POU field. Nil — every static
+	// configuration — wraps POU in pou.NewStatic, which resolves to the
+	// identical configuration by construction (DESIGN.md §16).
+	Policy pou.Policy
+
 	// HMCCubes chains multiple cubes (HMC supports up to 8); addresses
 	// interleave across the chain at page granularity and far cubes pay
 	// pass-through hop latency. Ignored when Mem is set.
@@ -273,6 +280,24 @@ func (c Config) memConfig() mem.Config {
 	return hc
 }
 
+// substrateOf summarizes a constructed backend's capability tiers for
+// placement policies.
+func substrateOf(b mem.Backend) pou.Substrate {
+	sub := pou.Substrate{Caps: b}
+	if bb, ok := b.(mem.BundleBackend); ok && bb.CanOffloadBundle() {
+		sub.Bundle = true
+	}
+	return sub
+}
+
+// Substrate resolves the pou.Substrate a machine assembled from c would
+// negotiate against, constructing only the memory backend. Placement
+// policies (internal/tune) consult it before committing a configuration,
+// so their substrate view is exactly the one machine assembly will use.
+func (c Config) Substrate() pou.Substrate {
+	return substrateOf(c.memConfig().New(sim.NewStats()))
+}
+
 // New assembles a machine for the given materialized trace. The trace
 // must have been generated against space and have at most cfg.NumCores
 // threads.
@@ -295,27 +320,12 @@ func NewSource(cfg Config, space *memmap.AddressSpace, src trace.Source) *Machin
 	st := sim.NewStats()
 	memCfg := cfg.memConfig()
 	backend := memCfg.New(st)
-	pouCfg := cfg.POU
-	if pouCfg.OffloadAtomics && !backend.CanOffload(hmcatomic.Add16) {
-		// Capability negotiation, wholesale: a substrate that cannot
-		// execute even the basic integer atomic near memory has no PIM
-		// units at all, so the framework would never allocate a PMR on
-		// it — the whole offload policy (UC bypass included) degrades
-		// to the conventional datapath. Partial capability (e.g. no FP
-		// units) is negotiated per command inside the POU instead.
-		pouCfg.OffloadAtomics = false
-		pouCfg.UCBypass = false
-		pouCfg.PMRActive = false
+	sub := substrateOf(backend)
+	pol := cfg.Policy
+	if pol == nil {
+		pol = pou.NewStatic(cfg.Name, cfg.POU)
 	}
-	if bb, ok := backend.(mem.BundleBackend); ok && bb.CanOffloadBundle() &&
-		pouCfg.OffloadAtomics && !pouCfg.PMRActive {
-		// The inverse negotiation: a substrate with general-purpose
-		// near-memory cores executes any read-modify-write as a bundle,
-		// so Table III applicability no longer gates PMR allocation — the
-		// framework places the property data near memory even for
-		// workloads whose atomics have no fixed-function command.
-		pouCfg.PMRActive = true
-	}
+	pouCfg := pol.Place(sub)
 	m := &Machine{
 		cfg:     cfg,
 		stats:   st,
@@ -464,7 +474,7 @@ func (m *Machine) Atomic(core int, in trace.Instr, now uint64) cpu.AtomicResult 
 			}
 			return m.mem.Atomic(d.Op, in.Addr, hmcatomic.Value{}, at)
 		}
-		if m.cfg.POU.HostOnCacheHit {
+		if m.pou.Config().HostOnCacheHit {
 			// U-PEI: the ideal locality monitor checks the caches
 			// first and executes host-side on a hit.
 			lvl, hit := m.cache.Probe(core, in.Addr)

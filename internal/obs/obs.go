@@ -196,6 +196,10 @@ type EnvInfo struct {
 	// changes simulated numbers, so replay must rebuild the same
 	// backend.
 	Memory string `json:"memory,omitempty"`
+	// Policy is the placement-policy override applied to every offload
+	// cell ("" none, "auto" tuner-decided, "host"/"pim"/"upei" pinned).
+	// Like Memory it changes simulated numbers, so replay must carry it.
+	Policy string `json:"policy,omitempty"`
 	// NumCPU and Gomaxprocs record the host the run was produced on, so
 	// committed results (manifests, BENCH_*.json) carry machine
 	// provenance. Neither affects any simulated number.

@@ -1,0 +1,104 @@
+package pou
+
+import (
+	"testing"
+
+	"graphpim/internal/hmcatomic"
+)
+
+// noPIMCaps models a substrate with no PIM units at all (ddr).
+type noPIMCaps struct{}
+
+func (noPIMCaps) CanOffload(hmcatomic.Op) bool { return false }
+
+// allCaps models a fully-capable substrate (hmc).
+type allCaps struct{}
+
+func (allCaps) CanOffload(hmcatomic.Op) bool { return true }
+
+// legacyNegotiate is a verbatim transcription of the capability
+// negotiation machine.NewSource performed inline before the Policy
+// refactor. Negotiate must match it on every input — that equality is
+// the static-policy identity argument (DESIGN.md §16).
+func legacyNegotiate(cfg Config, sub Substrate) Config {
+	if cfg.OffloadAtomics && sub.Caps != nil && !sub.Caps.CanOffload(hmcatomic.Add16) {
+		cfg.OffloadAtomics = false
+		cfg.UCBypass = false
+		cfg.PMRActive = false
+	}
+	if sub.Bundle && cfg.OffloadAtomics && !cfg.PMRActive {
+		cfg.PMRActive = true
+	}
+	return cfg
+}
+
+// TestNegotiateMatchesLegacyInline sweeps every POU config bit pattern
+// against every substrate shape and requires Negotiate to agree with
+// the pre-refactor inline logic exactly.
+func TestNegotiateMatchesLegacyInline(t *testing.T) {
+	subs := []Substrate{
+		{Caps: allCaps{}},
+		{Caps: noPIMCaps{}},
+		{Caps: fpLessCaps{}},
+		{Caps: allCaps{}, Bundle: true},
+		{Caps: nil},
+	}
+	for bits := 0; bits < 32; bits++ {
+		cfg := Config{
+			OffloadAtomics:  bits&1 != 0,
+			UCBypass:        bits&2 != 0,
+			HostOnCacheHit:  bits&4 != 0,
+			ExtendedAtomics: bits&8 != 0,
+			PMRActive:       bits&16 != 0,
+		}
+		for si, sub := range subs {
+			got := Negotiate(cfg, sub)
+			want := legacyNegotiate(cfg, sub)
+			if got != want {
+				t.Fatalf("bits %05b substrate %d: Negotiate = %+v, legacy = %+v", bits, si, got, want)
+			}
+			if st := NewStatic("x", cfg).Place(sub); st != want {
+				t.Fatalf("bits %05b substrate %d: Static.Place = %+v, legacy = %+v", bits, si, st, want)
+			}
+		}
+	}
+}
+
+// TestStaticPolicyInstances checks the three paper configurations
+// resolve through their policy instances to the same configs the
+// concrete constructors build.
+func TestStaticPolicyInstances(t *testing.T) {
+	full := Substrate{Caps: allCaps{}}
+	cases := []struct {
+		pol  Policy
+		name string
+		want Config
+	}{
+		{BaselinePolicy(), "Baseline", Baseline()},
+		{GraphPIMPolicy(false), "GraphPIM", GraphPIM(false)},
+		{GraphPIMPolicy(true), "GraphPIM", GraphPIM(true)},
+		{UPEIPolicy(false), "U-PEI", UPEI(false)},
+		{UPEIPolicy(true), "U-PEI", UPEI(true)},
+	}
+	for _, c := range cases {
+		if c.pol.Name() != c.name {
+			t.Errorf("policy name = %q, want %q", c.pol.Name(), c.name)
+		}
+		if got := c.pol.Place(full); got != c.want {
+			t.Errorf("%s.Place(full) = %+v, want %+v", c.name, got, c.want)
+		}
+	}
+	// Wholesale degradation on a PIM-less substrate: the offload policy
+	// collapses to the conventional datapath.
+	none := Substrate{Caps: noPIMCaps{}}
+	if got := GraphPIMPolicy(true).Place(none); got.OffloadAtomics || got.UCBypass || got.PMRActive {
+		t.Errorf("GraphPIM on PIM-less substrate did not degrade: %+v", got)
+	}
+	// Bundle-tier activation: an inactive PMR (inapplicable workload)
+	// re-activates on a bundle-capable substrate.
+	cfg := GraphPIM(false)
+	cfg.PMRActive = false
+	if got := NewStatic("GraphPIM", cfg).Place(Substrate{Caps: allCaps{}, Bundle: true}); !got.PMRActive {
+		t.Errorf("bundle substrate did not re-activate PMR: %+v", got)
+	}
+}

@@ -38,7 +38,7 @@ func validateInstr(in Instr) error {
 	if in.Kind > KindBarrier {
 		return fmt.Errorf("invalid kind %d", uint8(in.Kind))
 	}
-	if in.Atomic > AtomicComplex {
+	if in.Atomic > AtomicMax {
 		return fmt.Errorf("invalid atomic form %d", uint8(in.Atomic))
 	}
 	if in.Region > memmap.RegionProperty {

@@ -22,7 +22,7 @@ func emitSample(b *Builder, seed uint64, meta, prop, prop2 memmap.Addr, epochs, 
 		for t := 0; t < b.NumThreads(); t++ {
 			e := b.Thread(t)
 			for i := 0; i < per; i++ {
-				switch r.Intn(8) {
+				switch r.Intn(9) {
 				case 0:
 					e.Compute(1 + r.Intn(40))
 				case 1:
@@ -44,6 +44,8 @@ func emitSample(b *Builder, seed uint64, meta, prop, prop2 memmap.Addr, epochs, 
 					e.Compute(1)
 					e.Compute(2)
 					e.Compute(3)
+				case 8:
+					e.Atomic(AtomicMax, prop2+memmap.Addr(r.Intn(64)*64), 8, false, true, r.Intn(2) == 0)
 				}
 			}
 		}

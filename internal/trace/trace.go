@@ -78,6 +78,11 @@ const (
 	// AtomicComplex is a multi-location or indirect update (dynamic
 	// graph workloads). Never offloadable.
 	AtomicComplex
+	// AtomicMax is a compiler-generated CAS block implementing
+	// fetch-and-max (GNN max-pooling aggregation) — maps to
+	// CAS-if-greater. Appended after AtomicComplex so existing trace
+	// files keep their on-disk atomic codes.
+	AtomicMax
 )
 
 // String implements fmt.Stringer.
@@ -99,6 +104,8 @@ func (a HostAtomic) String() string {
 		return "fp-add cas loop"
 	case AtomicComplex:
 		return "complex block"
+	case AtomicMax:
+		return "cas-max block"
 	}
 	return fmt.Sprintf("atomic(%d)", uint8(a))
 }
@@ -116,6 +123,8 @@ func (a HostAtomic) PIMOp(extendedAtomics bool) (hmcatomic.Op, bool) {
 		return hmcatomic.Swap16, true
 	case AtomicMin:
 		return hmcatomic.CasLT16, true
+	case AtomicMax:
+		return hmcatomic.CasGT16, true
 	case AtomicFPAdd:
 		if extendedAtomics {
 			return hmcatomic.ExtFPAdd64, true

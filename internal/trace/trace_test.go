@@ -122,6 +122,7 @@ func TestPIMOpMapping(t *testing.T) {
 		{AtomicSub, false, hmcatomic.TwoAdd8, true},
 		{AtomicSwap, false, hmcatomic.Swap16, true},
 		{AtomicMin, false, hmcatomic.CasLT16, true},
+		{AtomicMax, false, hmcatomic.CasGT16, true},
 		{AtomicFPAdd, false, 0, false},
 		{AtomicFPAdd, true, hmcatomic.ExtFPAdd64, true},
 		{AtomicComplex, true, 0, false},
@@ -221,7 +222,7 @@ func TestKindAndAtomicStrings(t *testing.T) {
 			t.Errorf("kind %d has empty string", k)
 		}
 	}
-	for a := AtomicNone; a <= AtomicComplex; a++ {
+	for a := AtomicNone; a <= AtomicMax; a++ {
 		if a.String() == "" {
 			t.Errorf("atomic %d has empty string", a)
 		}

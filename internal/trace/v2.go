@@ -34,7 +34,7 @@ import (
 //	  uvarint ranges, ranges x { uvarint base, uvarint size }   // PMR ranges
 //	  threads x { uvarint records, uvarint instrs, uvarint atomics }
 //	  5 x uvarint                     // record counts per Kind
-//	  8 x uvarint                     // atomic records per HostAtomic form
+//	  9 x uvarint                     // atomic records per HostAtomic form
 //	  uvarint checkpoints
 //	  magic [8]byte "GPIMTRCE"
 //
@@ -55,6 +55,10 @@ const (
 	tagEnd        = 0x00
 	tagChunk      = 0x01
 	tagCheckpoint = 0x02
+
+	// numAtomicForms sizes the per-HostAtomic count arrays (footer and
+	// chunk-log tallies); it must track the end of the HostAtomic enum.
+	numAtomicForms = int(AtomicMax) + 1
 
 	// DefaultChunkRecords is the streaming builder's flush threshold: the
 	// record count at which a thread's buffered records are spilled as one
@@ -211,7 +215,7 @@ type StreamWriter struct {
 	index       [][]chunkRef
 	counts      []Counts
 	kinds       [5]uint64
-	atomics     [8]uint64
+	atomics     [numAtomicForms]uint64
 	checkpoints [][]uint64
 	dst         io.Writer
 }
@@ -446,7 +450,7 @@ type Stream struct {
 	counts      []Counts
 	checkpoints [][]uint64
 	kinds       [5]uint64
-	atomics     [8]uint64
+	atomics     [numAtomicForms]uint64
 	ranges      [][2]memmap.Addr
 }
 
@@ -682,7 +686,7 @@ type v2Scan struct {
 	counts      []Counts
 	checkpoints [][]uint64
 	kinds       [5]uint64
-	atomics     [8]uint64
+	atomics     [numAtomicForms]uint64
 	ranges      [][2]memmap.Addr
 }
 

@@ -1,0 +1,173 @@
+package workloads
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"graphpim/internal/gframe"
+	"graphpim/internal/trace"
+)
+
+func TestSpMVMatchesDenseReference(t *testing.T) {
+	g := testGraph()
+	res, _ := runOn(t, NewSpMV(3), g, 4)
+	got := res.Output.(SpMVOutput).Rank
+	want := RefPRank(g, 3)
+	if len(got) != len(want) {
+		t.Fatalf("rank length %d, want %d", len(got), len(want))
+	}
+	for v := range want {
+		if math.Abs(got[v]-want[v]) > 1e-12 {
+			t.Fatalf("rank[%d] = %g, want %g", v, got[v], want[v])
+		}
+	}
+	if res.EdgesVisited == 0 {
+		t.Fatal("no edges visited")
+	}
+}
+
+func TestSpMVMatchesPushPRank(t *testing.T) {
+	// The SpMV formulation and the paper's push-style PRank compute the
+	// same fixed-point iteration; only FP summation order may differ.
+	g := testGraph()
+	a, _ := runOn(t, NewSpMV(3), g, 4)
+	b, _ := runOn(t, NewPRank(3), g, 4)
+	ra, rb := a.Output.(SpMVOutput).Rank, b.Output.(PRankOutput).Rank
+	for v := range ra {
+		if math.Abs(ra[v]-rb[v]) > 1e-12 {
+			t.Fatalf("rank[%d]: SpMV %g vs PRank %g", v, ra[v], rb[v])
+		}
+	}
+}
+
+func TestGNNMeanMatchesReference(t *testing.T) {
+	g := testGraph()
+	res, _ := runOn(t, NewGNNMean(FeatDims), g, 4)
+	got := res.Output.(GNNOutput).Feat
+	want := RefGNNMean(g, FeatDims)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("GNN mean aggregation diverges from reference")
+	}
+}
+
+func TestGNNMaxMatchesReference(t *testing.T) {
+	g := testGraph()
+	res, _ := runOn(t, NewGNNMax(FeatDims), g, 4)
+	got := res.Output.(GNNOutput).Feat
+	want := RefGNNMax(g, FeatDims)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("GNN max aggregation diverges from reference")
+	}
+}
+
+// TestGNNFamilyThreadCountIdentity: integer features make the scatter
+// sums associative, so every family member must produce bit-identical
+// functional output at any thread count.
+func TestGNNFamilyThreadCountIdentity(t *testing.T) {
+	g := testGraph()
+	for _, mk := range []func() Workload{
+		func() Workload { return NewGNNMean(FeatDims) },
+		func() Workload { return NewGNNMax(FeatDims) },
+		func() Workload { return NewTCFeat(FeatDims) },
+	} {
+		name := mk().Info().Name
+		ref, _ := runOn(t, mk(), g, 1)
+		for _, threads := range []int{2, 4, 8} {
+			res, _ := runOn(t, mk(), g, threads)
+			if !reflect.DeepEqual(res.Output, ref.Output) {
+				t.Fatalf("%s output differs between 1 and %d threads", name, threads)
+			}
+		}
+	}
+}
+
+func TestTCFeatTotalMatchesTC(t *testing.T) {
+	g := testGraph()
+	a, _ := runOn(t, NewTCFeat(FeatDims), g, 4)
+	b, _ := runOn(t, NewTC(), g, 4)
+	if a.Output.(TCFeatOutput).Total != b.Output.(TCOutput).Total {
+		t.Fatalf("TCFeat total %d != TC total %d",
+			a.Output.(TCFeatOutput).Total, b.Output.(TCOutput).Total)
+	}
+}
+
+// TestGNNFamilyAtomicForms: each member's trace must contain exactly the
+// atomic forms its Info advertises (the applicability contract the POU
+// and the PMR-activation logic rely on).
+func TestGNNFamilyAtomicForms(t *testing.T) {
+	g := testGraph()
+	allowed := map[string]map[trace.HostAtomic]bool{
+		"SpMV":    {trace.AtomicFPAdd: true},
+		"GNNMean": {trace.AtomicAdd: true},
+		"GNNMax":  {trace.AtomicMax: true},
+		"TCFeat":  {trace.AtomicAdd: true},
+	}
+	for _, w := range GNNSet() {
+		name := w.Info().Name
+		_, f := runOn(t, w, g, 4)
+		kinds := f.Trace().AtomicsByKind()
+		if len(kinds) == 0 {
+			t.Fatalf("%s emitted no atomics", name)
+		}
+		for k := range kinds {
+			if !allowed[name][k] {
+				t.Fatalf("%s emitted unexpected atomic form %v", name, k)
+			}
+		}
+	}
+}
+
+func TestRegistryAndByName(t *testing.T) {
+	if got := len(All()); got != 13 {
+		t.Fatalf("All() = %d workloads, Table III wants 13", got)
+	}
+	reg := Registry()
+	if got := len(reg); got != 17 {
+		t.Fatalf("Registry() = %d workloads, want 17", got)
+	}
+	seen := map[string]bool{}
+	for _, w := range reg {
+		n := w.Info().Name
+		if seen[n] {
+			t.Fatalf("duplicate registry name %q", n)
+		}
+		seen[n] = true
+		got, err := ByName(n)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", n, err)
+		}
+		if got.Info().Name != n {
+			t.Fatalf("ByName(%q) resolved to %q", n, got.Info().Name)
+		}
+	}
+}
+
+// TestByNameUnknownListsValidNames is the PR-10 satellite bugfix: the
+// error must list every valid name in registry order.
+func TestByNameUnknownListsValidNames(t *testing.T) {
+	_, err := ByName("bogus")
+	if err == nil {
+		t.Fatal("ByName(bogus) succeeded")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"bogus"`) {
+		t.Fatalf("error does not name the bad input: %s", msg)
+	}
+	want := strings.Join(Names(Registry()), ", ")
+	if !strings.Contains(msg, want) {
+		t.Fatalf("error does not list valid names in registry order:\n%s\nwant list: %s", msg, want)
+	}
+}
+
+func BenchmarkSpMVAggregation(b *testing.B) {
+	g := testGraph()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f := gframe.New(g, 4, gframe.DefaultCostModel())
+		NewSpMV(3).Run(f)
+		f.Barrier()
+		_ = f.Trace()
+	}
+}

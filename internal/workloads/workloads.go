@@ -11,6 +11,7 @@ package workloads
 
 import (
 	"fmt"
+	"strings"
 
 	"graphpim/internal/gframe"
 	"graphpim/internal/graph"
@@ -24,6 +25,10 @@ const (
 	GraphTraversal Category = "Graph Traversal"
 	RichProperty   Category = "Rich Property"
 	DynamicGraph   Category = "Dynamic Graph"
+	// SparseLinear is the GNN/SpMV aggregation family (beyond the
+	// paper's suite): sparse-linear-algebra kernels with dense atomic
+	// scatter phases.
+	SparseLinear Category = "Sparse Linear Algebra"
 )
 
 // Info is the static description of one workload: its Table II offload
@@ -104,14 +109,37 @@ func EvalSet() []Workload {
 	}
 }
 
-// ByName looks a workload up by its short name.
+// GNNSet returns the GNN/SpMV aggregation family: the kernels whose
+// dense-atomic scatter phases the placement autotuner (internal/tune)
+// reasons about. Kept out of All() so the Table III suite stays exactly
+// the paper's thirteen workloads.
+func GNNSet() []Workload {
+	return []Workload{
+		NewSpMV(3),
+		NewGNNMean(FeatDims),
+		NewGNNMax(FeatDims),
+		NewTCFeat(FeatDims),
+	}
+}
+
+// Registry returns every constructible workload in registry order: the
+// Table III suite followed by the GNN/SpMV family. This is the set
+// ByName resolves against.
+func Registry() []Workload {
+	return append(All(), GNNSet()...)
+}
+
+// ByName looks a workload up by its short name. An unknown name returns
+// an error listing the valid names in registry order.
 func ByName(name string) (Workload, error) {
-	for _, w := range All() {
+	reg := Registry()
+	for _, w := range reg {
 		if w.Info().Name == name {
 			return w, nil
 		}
 	}
-	return nil, fmt.Errorf("workloads: unknown workload %q", name)
+	return nil, fmt.Errorf("workloads: unknown workload %q (valid: %s)",
+		name, strings.Join(Names(reg), ", "))
 }
 
 // Names returns the short names of ws.
